@@ -1,0 +1,66 @@
+"""Ablation: communication locality (§V.D's recommendations).
+
+Runs the same 4-stage pipeline with stages placed (a) on one core's
+hardware threads, (b) across a package, (c) across a slice, and
+(d) across slices, measuring makespan and machine energy.  The paper's
+guidance — prefer core-local, then chip-local, then off-chip — should
+appear as monotonically increasing cost.
+"""
+
+import pytest
+
+from repro.apps import Placement, build_pipeline, communication_scope, place
+from repro.board import build_machine
+from repro.sim import Simulator, to_us
+
+ITEMS = 20
+COMPUTE = 50
+
+
+def run_placement(strategy: Placement) -> tuple[float, float, str]:
+    """(makespan us, machine energy mJ, scope) for one placement."""
+    sim = Simulator()
+    machine = build_machine(sim, slices_x=2 if strategy is Placement.CROSS_SLICE else 1)
+    cores = place(machine, 4, strategy)
+    scope = communication_scope(cores, machine)
+    result = build_pipeline(cores, items=ITEMS, compute_per_stage=COMPUTE)
+    sim.run()
+    assert result.complete, f"{strategy}: pipeline stalled"
+    machine.accounting.update()
+    energy = machine.accounting.breakdown_j()
+    return (
+        to_us(result.makespan_ps),
+        (energy["cores"] + energy["links"]) * 1e3,
+        scope,
+    )
+
+
+def run(report_table):
+    rows = []
+    results = {}
+    for strategy in Placement:
+        makespan, energy_mj, scope = run_placement(strategy)
+        results[strategy] = (makespan, energy_mj)
+        rows.append([strategy.value, scope, round(makespan, 2), round(energy_mj, 4)])
+    report_table(
+        "ablation_locality",
+        "Ablation: pipeline placement locality (4 stages, 20 items)",
+        ["placement", "widest communication", "makespan us", "energy mJ"],
+        rows,
+        notes="SecV.D: 'Prefer core-local communication where possible; "
+              "chip-local ... should be the next preference.'  Cross-slice "
+              "energy includes the 10.9 nJ/bit FFC links.",
+    )
+    return results
+
+
+def test_ablation_locality(benchmark, report_table):
+    results = benchmark.pedantic(run, args=(report_table,), rounds=1, iterations=1)
+    same_package = results[Placement.SAME_PACKAGE][0]
+    same_slice = results[Placement.SAME_SLICE][0]
+    cross_slice = results[Placement.CROSS_SLICE][0]
+    # Widening scope never speeds the pipeline up...
+    assert same_package <= same_slice * 1.05
+    assert same_slice <= cross_slice * 1.05
+    # ...and off-board placement is strictly worse than in-package.
+    assert cross_slice > same_package

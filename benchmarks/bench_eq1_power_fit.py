@@ -1,0 +1,60 @@
+"""Eq. 1: Pc = (46 + 0.30 f) mW — recovered by linear fit.
+
+Measures per-core loaded power from simulation across the frequency
+range and fits a line; the fit must recover the paper's static power
+(46 mW) and dynamic slope (0.30 mW/MHz).
+"""
+
+import numpy as np
+import pytest
+
+from repro.energy import EnergyAccounting
+from repro.sim import Frequency, Simulator, us
+from repro.xs1 import LoopbackFabric, XCore, assemble
+
+
+def measure_core_power_mw(f_mhz: int) -> float:
+    sim = Simulator()
+    core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+    core.set_frequency(Frequency.mhz(f_mhz))
+    program = assemble("""
+        ldc r0, 500000
+    loop:
+        subi r0, r0, 1
+        bt r0, loop
+        freet
+    """)
+    for _ in range(4):
+        core.spawn(program)
+    ledger = EnergyAccounting(sim, [core], include_support=False)
+    sim.run_for(us(150))
+    return ledger.total_energy_j() / 150e-6 * 1e3
+
+
+def run(report_table):
+    frequencies = np.array([71, 125, 200, 275, 350, 425, 500], dtype=float)
+    powers = np.array([measure_core_power_mw(int(f)) for f in frequencies])
+    slope, intercept = np.polyfit(frequencies, powers, 1)
+    residual = powers - (intercept + slope * frequencies)
+    rows = [
+        ["static power (mW)", 46.0, round(intercept, 2), round(intercept / 46.0, 3)],
+        ["dynamic slope (mW/MHz)", 0.30, round(slope, 4), round(slope / 0.30, 3)],
+        ["max |residual| (mW)", "-", round(float(np.abs(residual).max()), 3), "-"],
+    ]
+    report_table(
+        "eq1_power_fit",
+        "Eq. 1: linear fit of measured per-core loaded power vs frequency",
+        ["quantity", "paper", "fitted", "ratio"],
+        rows,
+        notes="Pc = (46 + 0.30 f) mW; fit over seven simulated operating points.",
+    )
+    return slope, intercept, residual
+
+
+def test_eq1_power_fit(benchmark, report_table):
+    slope, intercept, residual = benchmark.pedantic(
+        run, args=(report_table,), rounds=1, iterations=1
+    )
+    assert intercept == pytest.approx(46.0, rel=0.05)
+    assert slope == pytest.approx(0.30, rel=0.05)
+    assert np.abs(residual).max() < 2.0  # the paper calls it linear

@@ -1,0 +1,75 @@
+"""Extension bench: instruction-mix-dependent energy (§II).
+
+The paper's §II: instruction energy is "dependent upon the operations
+they perform" (1.0–2.25 nJ/instruction).  We run the assembly kernel
+suite on one core and price each kernel two ways — the Kerrison
+per-class model, and the Eq. 1 time-domain ledger — showing how the
+instruction mix moves the energy per instruction.
+"""
+
+import pytest
+
+from repro.apps.kernels import default_suite, run_kernel
+from repro.energy import EnergyAccounting, InstructionEnergyModel
+from repro.sim import Simulator
+from repro.xs1 import LoopbackFabric, XCore
+
+
+def profile_kernel(kernel):
+    sim = Simulator()
+    core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+    ledger = EnergyAccounting(sim, [core], include_support=False)
+    a = list(range(1, 33))
+    b = list(range(33, 65))
+    _, thread = run_kernel(core, kernel, a, b)
+    ledger.update()
+    model = InstructionEnergyModel()
+    instructions = core.stats.total_instructions
+    return {
+        "name": kernel.name,
+        "instructions": instructions,
+        "cycles": core.cycle,
+        "mips": instructions / (sim.now / 1e12) / 1e6 if sim.now else 0.0,
+        "model_nj": model.mean_nj(core.stats.instructions),
+        "ledger_nj": ledger.core_energy_j(0) * 1e9 / instructions,
+    }
+
+
+def run(report_table):
+    rows = []
+    profiles = {}
+    for kernel in default_suite():
+        profile = profile_kernel(kernel)
+        profiles[profile["name"]] = profile
+        rows.append([
+            profile["name"],
+            profile["instructions"],
+            profile["cycles"],
+            round(profile["mips"], 1),
+            round(profile["model_nj"], 3),
+            round(profile["ledger_nj"], 3),
+        ])
+    report_table(
+        "extension_kernel_energy",
+        "Extension: kernel suite — instruction mix drives energy (SecII)",
+        ["kernel", "instructions", "cycles", "MIPS",
+         "Kerrison nJ/instr", "ledger nJ/instr"],
+        rows,
+        notes="Kerrison column: per-class model (1.0-2.25 nJ range); "
+              "ledger column: Eq. 1 power x time / instructions at one "
+              "thread (static amortised over the f/4 issue rate).",
+    )
+    return profiles
+
+
+def test_extension_kernel_energy(benchmark, report_table):
+    profiles = benchmark.pedantic(run, args=(report_table,), rounds=1, iterations=1)
+    model_low, model_high = InstructionEnergyModel().range_nj
+    for profile in profiles.values():
+        # Single-thread issue rate: 125 MIPS at 500 MHz.
+        assert profile["mips"] == pytest.approx(125, rel=0.05)
+        assert model_low <= profile["model_nj"] <= model_high
+        # Ledger pricing lands in the same 1-2.25 nJ band the paper quotes.
+        assert 0.8 <= profile["ledger_nj"] <= 2.5
+    # Load/store-heavy memcpy outprices the ALU-only fibonacci.
+    assert profiles["memcpy"]["model_nj"] > profiles["fibonacci"]["model_nj"]

@@ -1,0 +1,74 @@
+"""Extension bench: proportional scaling of performance and energy.
+
+One of the paper's stated aims (§I): "Deliver proportional scaling in
+performance and energy."  We saturate machines of 1, 2 and 4 slices,
+measure achieved GIPS and mean power from the ledger, and check both
+scale linearly in core count (then extrapolate to the 30-slice
+machine's 240 GIPS / 134 W corner).
+"""
+
+import pytest
+
+from repro.board import build_machine, system_power_w
+from repro.sim import Simulator, us
+from repro.xs1 import assemble
+
+
+def measure(slices_x: int) -> tuple[int, float, float]:
+    """(cores, measured GIPS, measured power W) for a saturated machine."""
+    sim = Simulator()
+    machine = build_machine(sim, slices_x=slices_x)
+    program = assemble("""
+        ldc r0, 100000
+    loop:
+        subi r0, r0, 1
+        bt r0, loop
+        freet
+    """)
+    for core in machine.cores:
+        for _ in range(4):
+            core.spawn(program)
+    window_us = 100
+    sim.run_for(us(window_us))
+    instructions = sum(core.stats.total_instructions for core in machine.cores)
+    gips = instructions / (window_us * 1e-6) / 1e9
+    power_w = machine.accounting.total_energy_j() / (window_us * 1e-6)
+    return len(machine.cores), gips, power_w
+
+
+def run(report_table):
+    rows = []
+    points = []
+    for slices in (1, 2, 4):
+        cores, gips, power = measure(slices)
+        points.append((cores, gips, power))
+        rows.append([
+            slices, cores, round(gips, 2), round(gips / cores * 1000, 1),
+            round(power, 2), round(power / cores * 1000, 1),
+        ])
+    rows.append([
+        30, 480, 240.0, 500.0,
+        round(system_power_w(30), 1),
+        round(system_power_w(30) / 480 * 1000, 1),
+    ])
+    report_table(
+        "extension_scaling",
+        "Extension: proportional scaling (measured 1-4 slices, modelled 30)",
+        ["slices", "cores", "GIPS", "MIPS/core", "power W", "mW/core"],
+        rows,
+        notes="Per-core throughput and power must be flat across machine "
+              "sizes — the paper's proportional-scaling aim.  The 30-slice "
+              "row is the power-tree model (the ledger excludes SMPS loss).",
+    )
+    return points
+
+
+def test_extension_scaling(benchmark, report_table):
+    points = benchmark.pedantic(run, args=(report_table,), rounds=1, iterations=1)
+    per_core_gips = [gips / cores for cores, gips, _ in points]
+    per_core_power = [power / cores for cores, _, power in points]
+    # Flat per-core rates across sizes = linear scaling.
+    assert max(per_core_gips) / min(per_core_gips) < 1.02
+    assert max(per_core_power) / min(per_core_power) < 1.02
+    # Each core delivers its Eq. 2 peak of 0.5 GIPS.
+    assert per_core_gips[0] == pytest.approx(0.5, rel=0.02)

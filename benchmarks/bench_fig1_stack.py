@@ -1,0 +1,60 @@
+"""Fig. 1: an eight board, 128 core stack of Swallow slices.
+
+Builds the stack, runs a light all-boards workload, and reports
+structure + power, including the manufacturing-yield account of why the
+real machine topped out at 480 of 640 cores (§IV-B).
+"""
+
+import pytest
+
+from repro.board import (
+    build_stack,
+    manufacturing_run,
+    slice_power,
+    usable_slices,
+)
+from repro.sim import Simulator, us
+from repro.xs1 import assemble
+
+
+def run(report_table):
+    sim = Simulator()
+    machine = build_stack(sim, boards=8)
+    program = assemble("""
+        ldc r0, 2000
+    loop:
+        subi r0, r0, 1
+        bt r0, loop
+        freet
+    """)
+    for board in machine.slices:
+        board.cores[0].spawn(program)
+    sim.run_for(us(100))
+    energy = machine.accounting.total_energy_j()
+    yields = manufacturing_run(seed=2015)
+    rows = [
+        ["boards in stack", 8, len(machine.slices)],
+        ["cores in stack", 128, len(machine.cores)],
+        ["slices span (x, y)", "(1, 8)", f"({machine.topology.slices_x}, {machine.topology.slices_y})"],
+        ["stack max power (W)", round(8 * 4.5, 1), round(8 * slice_power().total_w, 1)],
+        ["manufactured boards (SecIV-B)", 40, len(yields)],
+        ["usable boards (seeded run)", 30, usable_slices(yields)],
+        ["largest machine (cores)", 480, usable_slices(yields) * 16],
+    ]
+    report_table(
+        "fig1_stack",
+        "Fig. 1: the 8-board / 128-core stack, plus the yield story",
+        ["property", "paper", "built"],
+        rows,
+        notes=f"100 us idle+light-load energy of the stack: {energy * 1e3:.2f} mJ.",
+    )
+    return machine, yields
+
+
+def test_fig1_stack(benchmark, report_table):
+    machine, yields = benchmark.pedantic(
+        run, args=(report_table,), rounds=1, iterations=1
+    )
+    assert len(machine.cores) == 128
+    assert len(machine.slices) == 8
+    assert usable_slices(yields) * 16 == pytest.approx(480, abs=32)

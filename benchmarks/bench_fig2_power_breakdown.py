@@ -1,0 +1,49 @@
+"""Fig. 2: power distribution for each Swallow processor node.
+
+Reproduces the 260 mW decomposition and its percentages from the node
+power model.
+"""
+
+import pytest
+
+from repro.energy import node_power_breakdown
+
+PAPER_SHARES = {
+    "computation_and_memory": (78, 0.30),
+    "static": (68, 0.26),
+    "network_interface": (58, 0.22),
+    "dcdc_and_io": (46, 0.18),
+    "other": (10, 0.04),
+}
+
+
+def run(report_table):
+    breakdown = node_power_breakdown()
+    shares = breakdown.shares()
+    rows = []
+    for component, (paper_mw, paper_share) in PAPER_SHARES.items():
+        model_mw = getattr(breakdown, component)
+        rows.append([
+            component.replace("_", " "),
+            paper_mw,
+            round(model_mw, 1),
+            f"{paper_share:.0%}",
+            f"{shares[component]:.1%}",
+        ])
+    rows.append(["TOTAL", 260, round(breakdown.total_mw, 1), "100%", "100%"])
+    report_table(
+        "fig2_power_breakdown",
+        "Fig. 2: power distribution per Swallow node (260 mW total)",
+        ["component", "paper mW", "model mW", "paper share", "model share"],
+        rows,
+    )
+    return breakdown, shares
+
+
+def test_fig2_power_breakdown(benchmark, report_table):
+    breakdown, shares = benchmark(run, report_table)
+    assert breakdown.total_mw == pytest.approx(260.0)
+    assert shares["computation_and_memory"] == pytest.approx(0.30, abs=0.005)
+    assert shares["static"] == pytest.approx(0.26, abs=0.005)
+    assert shares["network_interface"] == pytest.approx(0.22, abs=0.005)
+    assert shares["dcdc_and_io"] == pytest.approx(0.18, abs=0.005)

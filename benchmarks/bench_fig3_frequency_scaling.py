@@ -1,0 +1,71 @@
+"""Fig. 3: power consumption with frequency scaling (four cores).
+
+Simulates a four-core group at each frequency — once with four active
+threads per core, once idle — and measures power from the energy ledger,
+reproducing the two linear series of the figure.
+"""
+
+import pytest
+
+from repro.energy import EnergyAccounting, active_power_mw, idle_power_mw
+from repro.sim import Frequency, Simulator, us
+from repro.xs1 import LoopbackFabric, XCore, assemble
+
+FREQUENCIES_MHZ = [71, 150, 250, 350, 500]
+
+
+def measure_group_power_mw(f_mhz: int, loaded: bool) -> float:
+    """Ledger-measured power of four cores at ``f_mhz``."""
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    cores = [XCore(sim, node_id=i, fabric=fabric) for i in range(4)]
+    for core in cores:
+        core.set_frequency(Frequency.mhz(f_mhz))
+    if loaded:
+        program = assemble("""
+            ldc r0, 500000
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """)
+        for core in cores:
+            for _ in range(4):
+                core.spawn(program)
+    ledger = EnergyAccounting(sim, cores, include_support=False)
+    window_us = 200
+    sim.run_for(us(window_us))
+    return ledger.total_energy_j() / (window_us * 1e-6) * 1e3
+
+
+def run(report_table):
+    rows = []
+    for f in FREQUENCIES_MHZ:
+        loaded = measure_group_power_mw(f, loaded=True)
+        idle = measure_group_power_mw(f, loaded=False)
+        rows.append([
+            f,
+            round(4 * active_power_mw(f), 1),
+            round(loaded, 1),
+            round(4 * idle_power_mw(f), 1),
+            round(idle, 1),
+        ])
+    report_table(
+        "fig3_frequency_scaling",
+        "Fig. 3: power vs frequency, four cores (paper model vs simulation)",
+        ["MHz", "model 4-thread mW", "measured mW", "model idle mW", "measured idle mW"],
+        rows,
+        notes="Paper anchor points: 4 x 193 mW = 772 mW at 500 MHz loaded; "
+              "4 x 50 mW = 200 mW at 71 MHz idle.",
+    )
+    return rows
+
+
+def test_fig3_frequency_scaling(benchmark, report_table):
+    rows = benchmark.pedantic(run, args=(report_table,), rounds=1, iterations=1)
+    for f, model_loaded, measured_loaded, model_idle, measured_idle in rows:
+        assert measured_loaded == pytest.approx(model_loaded, rel=0.03)
+        assert measured_idle == pytest.approx(model_idle, rel=0.03)
+    # Endpoints match the paper's quoted range.
+    assert rows[-1][2] == pytest.approx(4 * 193, rel=0.05)   # ~772 mW loaded
+    assert rows[0][4] == pytest.approx(4 * 50, rel=0.05)     # ~200 mW idle

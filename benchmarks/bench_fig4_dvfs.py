@@ -1,0 +1,44 @@
+"""Fig. 4: impact of voltage + frequency scaling (one core, loaded).
+
+Reproduces the two curves — power at 1 V and power after voltage
+scaling — including the paper's anchor voltages (0.6 V @ 71 MHz,
+0.95 V @ 500 MHz) and P = C V^2 f scaling.
+"""
+
+import pytest
+
+from repro.energy import dvfs_saving_fraction, figure4_series, min_voltage
+
+
+def run(report_table):
+    series = figure4_series(points=8)
+    rows = [
+        [
+            round(row["f_mhz"], 1),
+            round(min_voltage(row["f_mhz"]), 3),
+            round(row["p_1v_mw"], 1),
+            round(row["p_dvfs_mw"], 1),
+            f"{1 - row['p_dvfs_mw'] / row['p_1v_mw']:.1%}",
+        ]
+        for row in series
+    ]
+    report_table(
+        "fig4_dvfs",
+        "Fig. 4: voltage + frequency scaling, one core under 4-thread load",
+        ["MHz", "Vmin (V)", "P at 1 V (mW)", "P after DVFS (mW)", "saving"],
+        rows,
+        notes="Paper: Vmin 0.6 V at 71 MHz and 0.95 V at 500 MHz; "
+              "P = C V^2 f.  Figure y-range ~20-200 mW.",
+    )
+    return series
+
+
+def test_fig4_dvfs(benchmark, report_table):
+    series = benchmark(run, report_table)
+    # Curve endpoints inside the figure's plotted range.
+    assert 20 <= series[0]["p_dvfs_mw"] <= 30
+    assert series[-1]["p_1v_mw"] == pytest.approx(196, abs=1)
+    # Savings grow toward low frequency (the figure's widening gap).
+    assert dvfs_saving_fraction(71) > dvfs_saving_fraction(500)
+    assert dvfs_saving_fraction(71) == pytest.approx(0.64, abs=0.01)
+    assert dvfs_saving_fraction(500) == pytest.approx(0.0975, abs=0.005)

@@ -1,0 +1,53 @@
+"""§I headline: "the system provides up to 240 GIPS".
+
+Analytic roll-up to 480 cores, cross-checked by *measuring* a fully
+saturated 16-core slice (8 GIPS) and scaling by core count.
+"""
+
+import pytest
+
+from repro import SwallowSystem, assemble
+from repro.analysis import system_gips
+
+
+def measured_slice_gips() -> float:
+    system = SwallowSystem()
+    program = assemble("""
+        ldc r0, 1500
+    loop:
+        subi r0, r0, 1
+        bt r0, loop
+        freet
+    """)
+    for core in system.cores:
+        for _ in range(4):
+            core.spawn(program)
+    system.run()
+    return system.measured_gips()
+
+
+def run(report_table):
+    slice_gips = measured_slice_gips()
+    extrapolated = slice_gips * (480 / 16)
+    rows = [
+        ["one slice, analytic (GIPS)", 8.0, round(system_gips(16), 2)],
+        ["one slice, measured (GIPS)", 8.0, round(slice_gips, 2)],
+        ["480 cores, analytic (GIPS)", 240.0, round(system_gips(480), 1)],
+        ["480 cores, extrapolated from measurement", 240.0, round(extrapolated, 1)],
+    ]
+    report_table(
+        "headline_gips",
+        "SecI: aggregate throughput (240 GIPS at 480 cores)",
+        ["quantity", "paper", "value"],
+    rows,
+    )
+    return slice_gips, extrapolated
+
+
+def test_headline_gips(benchmark, report_table):
+    slice_gips, extrapolated = benchmark.pedantic(
+        run, args=(report_table,), rounds=1, iterations=1
+    )
+    assert system_gips(480) == pytest.approx(240.0)
+    assert slice_gips == pytest.approx(8.0, rel=0.03)
+    assert extrapolated == pytest.approx(240.0, rel=0.03)

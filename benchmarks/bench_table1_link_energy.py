@@ -1,0 +1,91 @@
+"""Table I: per-bit energies of Swallow links.
+
+Drives real traffic over each link class, reads the energy ledger, and
+divides by the bits the fabric actually carried; compares against the
+paper's published pJ/bit for all four classes.
+"""
+
+import pytest
+
+from repro.energy import PAPER_TABLE_I_PJ_PER_BIT, EnergyAccounting, table_i
+from repro.network.routing import Layer
+from repro.network.topology import SwallowTopology
+from repro.sim import Simulator
+from repro.xs1 import BehavioralThread, RecvWord, SendWord, XCore
+
+#: Which (src, dst) coordinates exercise each Table I link class on a
+#: 2x1-slice machine.
+SCENARIOS = {
+    "on-chip": ((0, 0, Layer.VERTICAL), (0, 0, Layer.HORIZONTAL)),
+    "on-board-vertical": ((0, 0, Layer.VERTICAL), (0, 1, Layer.VERTICAL)),
+    "on-board-horizontal": ((0, 0, Layer.HORIZONTAL), (1, 0, Layer.HORIZONTAL)),
+    "off-board-ffc": ((3, 0, Layer.HORIZONTAL), (4, 0, Layer.HORIZONTAL)),
+}
+
+
+def measure_link_class(class_name: str, words: int = 50) -> float:
+    """Measured pJ/bit for one link class (energy ledger / fabric bits)."""
+    sim = Simulator()
+    topo = SwallowTopology(sim, slices_x=2)
+    (sx, sy, sl), (dx, dy, dl) = SCENARIOS[class_name]
+    src = topo.node_at(sx, sy, sl)
+    dst = topo.node_at(dx, dy, dl)
+    core_a = XCore(sim, src, topo.fabric)
+    core_b = XCore(sim, dst, topo.fabric)
+    tx = core_a.allocate_chanend()
+    rx = core_b.allocate_chanend()
+    tx.set_dest(rx.address)
+    ledger = EnergyAccounting(sim, [core_a, core_b], fabric=topo.fabric)
+
+    def sender():
+        for i in range(words):
+            yield SendWord(tx, i)
+
+    def receiver():
+        for _ in range(words):
+            yield RecvWord(rx)
+
+    BehavioralThread(core_a, sender())
+    BehavioralThread(core_b, receiver())
+    sim.run()
+    ledger.update()
+    stats = topo.fabric.link_stats_by_class()
+    bits = stats[class_name]["bits"]
+    assert bits > 0, f"no traffic crossed a {class_name} link"
+    # Isolate this class's share of the ledger.
+    from repro.energy import link_energy_joules
+    from repro.network.params import TABLE_I_LINKS
+
+    spec = next(s for s in TABLE_I_LINKS if s.name == class_name)
+    energy_j = link_energy_joules(bits, spec)
+    return energy_j / bits * 1e12
+
+
+def run_table(report_table):
+    rows = []
+    for row in table_i():
+        measured = measure_link_class(row.link_type)
+        paper = PAPER_TABLE_I_PJ_PER_BIT[row.link_type]
+        rows.append([
+            row.link_type,
+            f"{row.data_rate_mbit:g} Mbit/s",
+            f"{row.max_power_mw:g} mW",
+            paper,
+            round(measured, 2),
+            round(measured / paper, 3),
+        ])
+    report_table(
+        "table1_link_energy",
+        "Table I: per-bit energies of Swallow links",
+        ["link type", "data rate", "max power", "paper pJ/bit", "measured pJ/bit", "ratio"],
+        rows,
+        notes="Measured = link-energy ledger / bits carried by the fabric "
+              "during a real 50-word transfer over each link class.",
+    )
+    return rows
+
+
+def test_table1_link_energy(benchmark, report_table):
+    rows = benchmark.pedantic(run_table, args=(report_table,), rounds=1, iterations=1)
+    for row in rows:
+        assert row[5] == pytest.approx(1.0, rel=0.01), row

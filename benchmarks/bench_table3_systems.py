@@ -1,0 +1,60 @@
+"""Table III: scale, technology and power of recent many-core systems.
+
+Recomputes the derived μW/MHz column (power/frequency for every system;
+Eq. 1's dynamic slope for Swallow, as the paper does) and checks it
+against the published values, plus the qualitative claims around the
+table.
+"""
+
+import pytest
+
+from repro.analysis import TABLE_III, swallow_power_rank
+
+
+def run(report_table):
+    rows = []
+    for system in TABLE_III:
+        low, high = system.computed_uw_per_mhz()
+        published = system.published_uw_per_mhz
+        computed = f"{low:.0f}" if low == high else f"{low:.0f}-{high:.0f}"
+        pub = (
+            f"{published[0]:g}" if published[0] == published[1]
+            else f"{published[1]:g}-{published[0]:g}"
+        )
+        rows.append([
+            system.name,
+            system.isa,
+            system.cores_per_chip,
+            f"{system.total_cores[0]}"
+            + (f"-{system.total_cores[1]}" if system.total_cores[1] != system.total_cores[0] else ""),
+            f"{system.tech_node_nm} nm",
+            f"{system.power_per_core_mw[0]:g}"
+            + (f"-{system.power_per_core_mw[1]:g}" if system.power_per_core_mw[1] != system.power_per_core_mw[0] else ""),
+            f"{system.frequency_mhz[0]:g}"
+            + (f"-{system.frequency_mhz[1]:g}" if system.frequency_mhz[1] != system.frequency_mhz[0] else ""),
+            pub,
+            computed,
+        ])
+    report_table(
+        "table3_systems",
+        "Table III: many-core systems survey (published vs recomputed uW/MHz)",
+        ["system", "ISA", "cores/chip", "total cores", "node",
+         "mW/core", "MHz", "paper uW/MHz", "recomputed"],
+        rows,
+        notes="Swallow's uW/MHz is Eq. 1's dynamic slope (0.30 mW/MHz), "
+              "matching the paper's 300.",
+    )
+    return rows
+
+
+def test_table3_systems(benchmark, report_table):
+    benchmark(run, report_table)
+    by_name = {s.name: s for s in TABLE_III}
+    # Swallow's derived column equals the published 300.
+    assert by_name["Swallow"].computed_uw_per_mhz()[0] == pytest.approx(300.0)
+    # Direct power/frequency systems recompute to their published values.
+    assert by_name["SpiNNaker"].computed_uw_per_mhz()[0] == pytest.approx(435.0)
+    assert by_name["Epiphany-IV"].computed_uw_per_mhz()[0] == pytest.approx(38.8, rel=0.01)
+    assert by_name["Tile64"].computed_uw_per_mhz()[0] == pytest.approx(300.0)
+    # Paper: Swallow's power/core sits mid-range.
+    assert swallow_power_rank() == 3

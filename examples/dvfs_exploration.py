@@ -1,0 +1,67 @@
+"""Frequency/voltage scaling exploration (paper §III.B, Figs. 3 & 4).
+
+Sweeps a core's clock, measures power from the simulation's energy
+ledger (not the closed-form model), fits Eq. 1, and projects the DVFS
+savings of Fig. 4.
+
+Run:  python examples/dvfs_exploration.py
+"""
+
+import numpy as np
+
+from repro import Frequency, Simulator, XCore, assemble
+from repro.energy import EnergyAccounting, dvfs_power_mw, min_voltage
+from repro.sim import us
+from repro.xs1 import LoopbackFabric
+
+FREQUENCIES_MHZ = [71, 125, 200, 300, 400, 500]
+
+
+def measured_power_mw(f_mhz: int, threads: int) -> float:
+    sim = Simulator()
+    core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+    core.set_frequency(Frequency.mhz(f_mhz))
+    if threads:
+        program = assemble("""
+            ldc r0, 500000
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """)
+        for _ in range(threads):
+            core.spawn(program)
+    ledger = EnergyAccounting(sim, [core], include_support=False)
+    sim.run_for(us(200))
+    return ledger.total_energy_j() / 200e-6 * 1e3
+
+
+def main() -> None:
+    print(f"{'MHz':>5} {'idle mW':>8} {'loaded mW':>10} {'Vmin':>6} "
+          f"{'DVFS mW':>8} {'saving':>7}")
+    loaded_points = []
+    for f in FREQUENCIES_MHZ:
+        idle = measured_power_mw(f, threads=0)
+        loaded = measured_power_mw(f, threads=4)
+        loaded_points.append((f, loaded))
+        dvfs = dvfs_power_mw(f)
+        print(f"{f:>5} {idle:>8.1f} {loaded:>10.1f} {min_voltage(f):>6.2f} "
+              f"{dvfs:>8.1f} {1 - dvfs / loaded:>6.1%}")
+
+    f_values = np.array([p[0] for p in loaded_points], dtype=float)
+    p_values = np.array([p[1] for p in loaded_points])
+    slope, intercept = np.polyfit(f_values, p_values, 1)
+    print(
+        f"\nEq. 1 fit of the *measured* loaded points: "
+        f"P = ({intercept:.1f} + {slope:.3f} f) mW"
+    )
+    print("paper:                                  P = (46 + 0.300 f) mW")
+    print(
+        "\nFig. 4's story: at 71 MHz the part runs at 0.60 V, so voltage "
+        "scaling keeps only 36% of the 1 V power — frequency scaling alone "
+        "leaves that on the table."
+    )
+
+
+if __name__ == "__main__":
+    main()

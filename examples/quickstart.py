@@ -1,0 +1,75 @@
+"""Quickstart: build a 16-core Swallow slice, run code, read the energy.
+
+Demonstrates the three faces of the platform in ~60 lines:
+
+1. an assembled XS1 program on a hardware thread;
+2. two behavioural tasks communicating over a network channel;
+3. the energy-transparency report that ties it all to joules.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Compute, RecvWord, SendWord, SwallowSystem, assemble
+
+
+def main() -> None:
+    system = SwallowSystem(slices_x=1)   # one slice: 16 cores, 8 chips
+    print(f"built {system!r}")
+
+    # -- 1. an assembled program ------------------------------------------
+    dot_product = assemble("""
+        .equ N, 8
+        .data 0x100
+        .word 1, 2, 3, 4, 5, 6, 7, 8       # vector a
+        .word 8, 7, 6, 5, 4, 3, 2, 1       # vector b
+        start:
+            ldc r0, 0x100       # a
+            ldc r1, 0x120       # b
+            ldc r2, N
+            ldc r3, 0           # accumulator
+        loop:
+            ldw r4, r0, 0
+            ldw r5, r1, 0
+            mul r6, r4, r5
+            add r3, r3, r6
+            addi r0, r0, 4
+            addi r1, r1, 4
+            subi r2, r2, 1
+            bt r2, loop
+            ldc r7, 0x200
+            stw r3, r7, 0       # result -> memory
+            freet
+    """)
+    worker = system.spawn(system.core(0), dot_product)
+
+    # -- 2. two communicating tasks ----------------------------------------
+    producer_core, consumer_core = system.core(1), system.core(10)
+    channel = system.channel(producer_core, consumer_core)
+    received = []
+
+    def producer():
+        for i in range(4):
+            yield Compute(200)              # pretend to work
+            yield SendWord(channel.a, i * i)
+
+    def consumer():
+        for _ in range(4):
+            received.append((yield RecvWord(channel.b)))
+
+    system.spawn_task(producer_core, producer())
+    system.spawn_task(consumer_core, consumer())
+
+    # -- run and inspect -----------------------------------------------------
+    system.run()
+    result = system.core(0).memory.load_word(0x200)
+    print(f"dot product on core 0: {result} (expected 120)")
+    print(f"squares streamed core 1 -> core 10: {received}")
+    print(f"thread retired {worker.instructions_executed} instructions")
+    print()
+
+    # -- 3. energy transparency ------------------------------------------------
+    print(system.energy_report().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""A program that measures its own power and adapts (paper §II).
+
+"A novel feature of this energy measurement is that the measurement data
+can be collected on the Swallow slice itself.  In this way, it is
+possible to create a program that can measure its own power consumption
+and adapt to the results."
+
+Here the adaptation is a power governor: four cores on rail 0 run flat
+out, blowing through a 500 mW rail budget; a fifth core samples the
+ADC daughter-board and steps the hot cores' clock down the frequency
+ladder until the rail fits the budget.
+
+Run:  python examples/self_measuring_governor.py
+"""
+
+from repro import SwallowSystem, assemble
+from repro.core import PowerGovernor
+
+BUDGET_MW = 500.0
+
+
+def main() -> None:
+    system = SwallowSystem()
+    board = system.measurement_board()
+
+    # Saturate the four cores of rail 1V0-0.
+    spin = assemble("""
+        ldc r0, 10000000
+    loop:
+        subi r0, r0, 1
+        bt r0, loop
+        freet
+    """)
+    for core in board.rails[0].cores:
+        for _ in range(4):
+            core.spawn(spin)
+
+    governor = PowerGovernor(
+        board, channel=0, budget_mw=BUDGET_MW, period_cycles=25_000
+    )
+    governor.install(system.core(8), iterations=25)   # host on another rail
+
+    system.run_for_us(2500)
+
+    print(f"rail budget: {BUDGET_MW:.0f} mW   (4 cores at 500 MHz draw ~780 mW)\n")
+    print(f"{'sample':>6} {'rail power mW':>14} {'governed MHz':>13}")
+    for i, (power, freq) in enumerate(
+        zip(governor.log.samples_mw, governor.log.frequencies_mhz)
+    ):
+        marker = "  <-- over budget" if power > BUDGET_MW else ""
+        print(f"{i:>6} {power:>14.1f} {freq:>13.0f}{marker}")
+    print(
+        f"\ngovernor made {governor.log.adjustments} adjustments; "
+        f"final rail power {governor.log.samples_mw[-1]:.1f} mW at "
+        f"{governor.log.frequencies_mhz[-1]:.0f} MHz"
+    )
+    report = system.energy_report()
+    print(f"machine mean power over the run: {report.mean_power_w:.3f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""swallow-repro: an energy-transparent many-core embedded system, simulated.
+
+Reproduction of Hollis & Kerrison, "Swallow: Building an
+Energy-Transparent Many-Core Embedded Real-Time System" (DATE 2016).
+
+Quick start::
+
+    from repro import SwallowSystem, Compute, SendWord, RecvWord
+
+    system = SwallowSystem(slices_x=1)          # one 16-core slice
+    a, b = system.core(0), system.core(5)
+    channel = system.channel(a, b)
+
+    def producer():
+        yield Compute(100)
+        yield SendWord(channel.a, 42)
+
+    def consumer():
+        value = yield RecvWord(channel.b)
+
+    system.spawn_task(a, producer())
+    system.spawn_task(b, consumer())
+    system.run()
+    print(system.energy_report().render())
+
+Subpackages: :mod:`repro.sim` (event kernel), :mod:`repro.xs1` (the
+processor model), :mod:`repro.network` (links/switches/topology),
+:mod:`repro.board` (power tree, assembly, yield), :mod:`repro.energy`
+(power models and measurement), :mod:`repro.analysis` (Eq. 2, E/C,
+survey tables), :mod:`repro.apps` (parallel patterns), and
+:mod:`repro.core` (the assembled platform).
+"""
+
+from repro.apps import (
+    AppChannel,
+    Placement,
+    SharedMemoryServer,
+    build_client_server,
+    build_message_ring,
+    build_pipeline,
+    build_task_farm,
+    place,
+)
+from repro.board import build_machine, build_stack, slice_power, system_power_w
+from repro.core import (
+    EnergyReport,
+    NanoOS,
+    PowerGovernor,
+    SwallowSystem,
+)
+from repro.energy import (
+    EnergyAccounting,
+    InstructionEnergyModel,
+    MeasurementBoard,
+    active_power_mw,
+    core_power_mw,
+    dvfs_power_mw,
+    idle_power_mw,
+    table_i,
+)
+from repro.network import ChanendAddress, Token
+from repro.network.ethernet import EthernetBridge
+from repro.network.routing import Direction, Layer, NodeCoord, next_direction
+from repro.network.topology import SwallowTopology
+from repro.sim import Frequency, Simulator
+from repro.xs1 import (
+    BehavioralThread,
+    CheckCt,
+    Compute,
+    Program,
+    RecvToken,
+    RecvWord,
+    SendCt,
+    SendToken,
+    SendWord,
+    SetDest,
+    Sleep,
+    XCore,
+    assemble,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppChannel",
+    "BehavioralThread",
+    "ChanendAddress",
+    "CheckCt",
+    "Compute",
+    "Direction",
+    "EnergyAccounting",
+    "EnergyReport",
+    "EthernetBridge",
+    "Frequency",
+    "InstructionEnergyModel",
+    "Layer",
+    "MeasurementBoard",
+    "NanoOS",
+    "NodeCoord",
+    "Placement",
+    "PowerGovernor",
+    "Program",
+    "RecvToken",
+    "RecvWord",
+    "SendCt",
+    "SendToken",
+    "SendWord",
+    "SetDest",
+    "SharedMemoryServer",
+    "Simulator",
+    "Sleep",
+    "SwallowSystem",
+    "SwallowTopology",
+    "Token",
+    "XCore",
+    "active_power_mw",
+    "assemble",
+    "build_client_server",
+    "build_machine",
+    "build_message_ring",
+    "build_pipeline",
+    "build_stack",
+    "build_task_farm",
+    "core_power_mw",
+    "dvfs_power_mw",
+    "idle_power_mw",
+    "next_direction",
+    "place",
+    "slice_power",
+    "system_power_w",
+    "table_i",
+]

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``   — system inventory of a configured machine;
+* ``tables`` — print the paper's derived tables (I, II, III, Fig. 2);
+* ``demo``   — run the quickstart workload and print the energy report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro import SwallowSystem
+    from repro.board import slice_power
+    from repro.analysis import system_gips
+
+    system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
+    topology = system.topology
+    print(f"Swallow machine: {topology.slices_x} x {topology.slices_y} slices")
+    print(f"  cores:            {system.num_cores}")
+    print(f"  packages:         {len(topology.packages)}")
+    print(f"  network links:    {len(topology.fabric.links) // 2} full-duplex")
+    print(f"  peak throughput:  {system_gips(system.num_cores):.1f} GIPS")
+    per_slice = slice_power().total_w
+    print(f"  max power:        {per_slice * topology.num_slices:.1f} W "
+          f"({per_slice:.2f} W/slice)")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis import TABLE_II, TABLE_III, qualifying_processors
+    from repro.energy import node_power_breakdown, table_i
+
+    print("Table I - per-bit link energies")
+    for row in table_i():
+        print(f"  {row.link_type:<22} {row.data_rate_mbit:>7.1f} Mbit/s  "
+              f"{row.max_power_mw:>7.1f} mW  {row.energy_per_bit_pj:>9.1f} pJ/bit")
+    print("\nTable II - candidate processors (meets-all-requirements)")
+    qualifiers = {p.name for p in qualifying_processors()}
+    for p in TABLE_II:
+        verdict = "YES" if p.name in qualifiers else "no"
+        print(f"  {p.name:<28} {verdict}")
+    print("\nTable III - many-core survey (uW/MHz)")
+    for s in TABLE_III:
+        low, high = s.computed_uw_per_mhz()
+        value = f"{low:.0f}" if low == high else f"{low:.0f}-{high:.0f}"
+        print(f"  {s.name:<12} {s.isa:<10} {value:>12}")
+    print("\nFig. 2 - node power breakdown")
+    breakdown = node_power_breakdown()
+    for name, share in breakdown.shares().items():
+        print(f"  {name.replace('_', ' '):<24} {share:>6.1%}")
+    return 0
+
+
+def cmd_isa(args: argparse.Namespace) -> int:
+    from repro.xs1 import INSTRUCTION_SET
+
+    print(f"{len(INSTRUCTION_SET)} instructions in the XS1 subset\n")
+    by_class: dict[str, list] = {}
+    for spec in INSTRUCTION_SET.values():
+        by_class.setdefault(spec.energy_class.value, []).append(spec)
+    for energy_class in sorted(by_class):
+        print(f"[{energy_class}]")
+        for spec in sorted(by_class[energy_class], key=lambda s: s.mnemonic):
+            operands = " ".join(kind.value for kind in spec.operands)
+            print(f"  {spec.mnemonic:<10} {operands:<14} {spec.description}")
+        print()
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import export_csv
+
+    written = export_csv(args.out, args.names or None)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    from repro.network.topology import SwallowTopology
+    from repro.network.visualize import render_summary, render_topology
+    from repro.sim import Simulator
+
+    topology = SwallowTopology(
+        Simulator(), slices_x=args.slices_x, slices_y=args.slices_y
+    )
+    print(render_topology(topology))
+    print()
+    print(render_summary(topology))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro import Compute, RecvWord, SendWord, SwallowSystem, assemble
+
+    system = SwallowSystem()
+    system.spawn(system.core(0), assemble("""
+        ldc r0, 1000
+    loop:
+        subi r0, r0, 1
+        bt r0, loop
+        freet
+    """))
+    channel = system.channel(system.core(1), system.core(10))
+    received = []
+
+    def producer():
+        for i in range(4):
+            yield Compute(100)
+            yield SendWord(channel.a, i * i)
+
+    def consumer():
+        for _ in range(4):
+            received.append((yield RecvWord(channel.b)))
+
+    system.spawn_task(system.core(1), producer())
+    system.spawn_task(system.core(10), consumer())
+    system.run()
+    print(f"streamed words: {received}")
+    print(system.energy_report().render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Swallow energy-transparent many-core simulator",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    info = subparsers.add_parser("info", help="machine inventory")
+    info.add_argument("--slices-x", type=int, default=1)
+    info.add_argument("--slices-y", type=int, default=1)
+    info.set_defaults(func=cmd_info)
+    tables = subparsers.add_parser("tables", help="print the paper's tables")
+    tables.set_defaults(func=cmd_tables)
+    isa = subparsers.add_parser("isa", help="list the implemented instruction set")
+    isa.set_defaults(func=cmd_isa)
+    figures = subparsers.add_parser(
+        "figures", help="export every paper figure/table as CSV"
+    )
+    figures.add_argument("--out", default="figures_out", help="output directory")
+    figures.add_argument("names", nargs="*", help="subset of figure names")
+    figures.set_defaults(func=cmd_figures)
+    topology = subparsers.add_parser("topology", help="draw the lattice")
+    topology.add_argument("--slices-x", type=int, default=1)
+    topology.add_argument("--slices-y", type=int, default=1)
+    topology.set_defaults(func=cmd_topology)
+    demo = subparsers.add_parser("demo", help="run the quickstart workload")
+    demo.set_defaults(func=cmd_demo)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Analysis: Eq. 2 throughput, E/C ratios, bisection, survey tables."""
+
+from repro.analysis.bisection import (
+    horizontal_bisection_bps,
+    min_cut_bps,
+    vertical_bisection_bps,
+)
+from repro.analysis.comparison import (
+    TABLE_II,
+    TABLE_III,
+    CandidateProcessor,
+    Determinism,
+    ManyCoreSystem,
+    qualifying_processors,
+    swallow_power_rank,
+    table_iii_by_power,
+)
+from repro.analysis.ec_ratio import (
+    BITS_PER_INSTRUCTION,
+    RELATED_WORK_EC_RANGE,
+    EcScenario,
+    ec_ratio,
+    execution_rate_bps,
+    measured_ec,
+    paper_scenarios,
+    thread_execution_rate_bps,
+)
+from repro.analysis.throughput import (
+    PEAK_CORE_MIPS,
+    PIPELINE_DEPTH,
+    ips_per_core,
+    ips_per_thread,
+    measured_core_ips,
+    single_thread_mips,
+    system_gips,
+)
+
+__all__ = [
+    "BITS_PER_INSTRUCTION",
+    "CandidateProcessor",
+    "Determinism",
+    "EcScenario",
+    "ManyCoreSystem",
+    "PEAK_CORE_MIPS",
+    "PIPELINE_DEPTH",
+    "RELATED_WORK_EC_RANGE",
+    "TABLE_II",
+    "TABLE_III",
+    "ec_ratio",
+    "execution_rate_bps",
+    "horizontal_bisection_bps",
+    "ips_per_core",
+    "ips_per_thread",
+    "measured_core_ips",
+    "measured_ec",
+    "min_cut_bps",
+    "paper_scenarios",
+    "qualifying_processors",
+    "single_thread_mips",
+    "swallow_power_rank",
+    "system_gips",
+    "table_iii_by_power",
+    "thread_execution_rate_bps",
+    "vertical_bisection_bps",
+]

@@ -1,0 +1,69 @@
+"""Bisection-bandwidth analysis of Swallow topologies.
+
+§V.D takes the vertical bisection of a slice (cutting all links that
+cross the horizontal mid-line) as the worst-case communication channel.
+This module computes such cuts — and true minimum cuts via networkx — on
+any :class:`~repro.network.topology.SwallowTopology`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.network.topology import SwallowTopology
+
+
+def vertical_bisection_bps(
+    topology: SwallowTopology, use_operating_rate: bool = True
+) -> float:
+    """Bandwidth (bits/s, one direction) across the horizontal mid-line.
+
+    "Vertical bisection" in the paper's sense: the cut severs the
+    vertical (north-south) links joining the top half of the package grid
+    to the bottom half.
+    """
+    cut_y = topology.packages_y / 2
+    total = 0.0
+    graph = topology.graph()
+    for u, v, data in graph.edges(data=True):
+        yu = graph.nodes[u]["coord"].y
+        yv = graph.nodes[v]["coord"].y
+        if (yu < cut_y) != (yv < cut_y):
+            spec = data["spec"]
+            total += spec.operating_bitrate if use_operating_rate else spec.max_bitrate
+    return total
+
+
+def horizontal_bisection_bps(
+    topology: SwallowTopology, use_operating_rate: bool = True
+) -> float:
+    """Bandwidth across the vertical mid-line (east-west cut)."""
+    cut_x = topology.packages_x / 2
+    total = 0.0
+    graph = topology.graph()
+    for u, v, data in graph.edges(data=True):
+        xu = graph.nodes[u]["coord"].x
+        xv = graph.nodes[v]["coord"].x
+        if (xu < cut_x) != (xv < cut_x):
+            spec = data["spec"]
+            total += spec.operating_bitrate if use_operating_rate else spec.max_bitrate
+    return total
+
+
+def min_cut_bps(
+    topology: SwallowTopology,
+    source_node: int,
+    sink_node: int,
+    use_operating_rate: bool = True,
+) -> float:
+    """Max-flow/min-cut bandwidth between two nodes (networkx)."""
+    graph = nx.Graph()
+    for u, v, data in topology.graph().edges(data=True):
+        spec = data["spec"]
+        rate = spec.operating_bitrate if use_operating_rate else spec.max_bitrate
+        if graph.has_edge(u, v):
+            graph[u][v]["capacity"] += rate
+        else:
+            graph.add_edge(u, v, capacity=rate)
+    value, _ = nx.minimum_cut(graph, source_node, sink_node)
+    return float(value)

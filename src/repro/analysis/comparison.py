@@ -1,0 +1,164 @@
+"""Processor & system surveys (paper Tables II and III).
+
+Table II compares candidate processors against Swallow's requirements —
+a scalable multi-core interconnect and time-deterministic execution —
+and finds only the XMOS XS1-L satisfies all of them.
+
+Table III places Swallow among recent many-core systems on scale,
+technology and power.  μW/MHz is power over frequency except for
+Swallow, where the paper uses Eq. 1's dynamic slope (0.30 mW/MHz ->
+300 μW/MHz); :func:`table_iii` recomputes the derived column so the
+bench can check the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Determinism(Enum):
+    """Time-determinism classification used in Table II."""
+
+    YES = "yes"
+    NO = "no"
+    WITHOUT_CACHE = "w/o cache"   # deterministic only if the cache is disabled
+
+
+@dataclass(frozen=True)
+class CandidateProcessor:
+    """One Table II row."""
+
+    name: str
+    cores: int
+    data_width_bits: int
+    superscalar: bool
+    has_cache: bool | None            # None = optional
+    memory_configuration: str
+    multicore_interconnect: str | None
+    time_deterministic: Determinism
+
+    def meets_all_requirements(self) -> bool:
+        """Scalable interconnect + unconditional time determinism."""
+        return (
+            self.multicore_interconnect is not None
+            and self.time_deterministic is Determinism.YES
+        )
+
+
+#: Table II, row for row.
+TABLE_II: list[CandidateProcessor] = [
+    CandidateProcessor(
+        "ARM Cortex M", 1, 32, superscalar=False, has_cache=None,
+        memory_configuration="<varies>", multicore_interconnect=None,
+        time_deterministic=Determinism.WITHOUT_CACHE,
+    ),
+    CandidateProcessor(
+        "ARM Cortex A, single core", 1, 32, superscalar=True, has_cache=True,
+        memory_configuration="<varies>", multicore_interconnect=None,
+        time_deterministic=Determinism.NO,
+    ),
+    CandidateProcessor(
+        "ARM Cortex A, multi-core", 4, 32, superscalar=True, has_cache=True,
+        memory_configuration="<varies>", multicore_interconnect="Coherent mem.",
+        time_deterministic=Determinism.NO,
+    ),
+    CandidateProcessor(
+        "Adapteva Epiphany", 64, 32, superscalar=True, has_cache=False,
+        memory_configuration="Local + global SRAM",
+        multicore_interconnect="NoC + external",
+        time_deterministic=Determinism.NO,
+    ),
+    CandidateProcessor(
+        "XMOS XS1-L", 1, 32, superscalar=False, has_cache=False,
+        memory_configuration="Unified, single cycle SRAM",
+        multicore_interconnect="NoC + external",
+        time_deterministic=Determinism.YES,
+    ),
+    CandidateProcessor(
+        "MSP430", 1, 16, superscalar=False, has_cache=False,
+        memory_configuration="I-Flash + D-SRAM", multicore_interconnect=None,
+        time_deterministic=Determinism.YES,
+    ),
+    CandidateProcessor(
+        "AVR", 1, 8, superscalar=False, has_cache=False,
+        memory_configuration="I-Flash + D-SRAM", multicore_interconnect=None,
+        time_deterministic=Determinism.NO,
+    ),
+    CandidateProcessor(
+        "Quark", 1, 32, superscalar=False, has_cache=True,
+        memory_configuration="Unified DRAM", multicore_interconnect="Ethernet",
+        time_deterministic=Determinism.NO,
+    ),
+]
+
+
+def qualifying_processors() -> list[CandidateProcessor]:
+    """Table II's verdict: the processors meeting every requirement."""
+    return [p for p in TABLE_II if p.meets_all_requirements()]
+
+
+@dataclass(frozen=True)
+class ManyCoreSystem:
+    """One Table III row.  Ranged quantities are (low, high) tuples."""
+
+    name: str
+    isa: str
+    cores_per_chip: int
+    total_cores: tuple[int, int]
+    tech_node_nm: int
+    power_per_core_mw: tuple[float, float]
+    frequency_mhz: tuple[float, float]
+    published_uw_per_mhz: tuple[float, float]
+    #: μW/MHz basis: "dynamic" (Eq. 1 slope) or "total" (power/frequency).
+    uw_basis: str = "total"
+
+    def computed_uw_per_mhz(self) -> tuple[float, float]:
+        """Recompute the derived column from power and frequency."""
+        if self.uw_basis == "dynamic":
+            # Swallow: Eq. 1 dynamic slope, 0.30 mW/MHz at any frequency.
+            from repro.energy.power_model import DYNAMIC_MW_PER_MHZ
+
+            value = DYNAMIC_MW_PER_MHZ * 1000.0
+            return (value, value)
+        low = self.power_per_core_mw[0] * 1000.0 / self.frequency_mhz[1]
+        high = self.power_per_core_mw[1] * 1000.0 / self.frequency_mhz[0]
+        return (low, high)
+
+
+#: Table III, row for row.
+TABLE_III: list[ManyCoreSystem] = [
+    ManyCoreSystem(
+        "Swallow", "XS1", 2, (16, 480), 65, (193.0, 193.0), (500.0, 500.0),
+        (300.0, 300.0), uw_basis="dynamic",
+    ),
+    ManyCoreSystem(
+        "SpiNNaker", "ARM9", 17, (1_036_800, 1_036_800), 130, (87.0, 87.0),
+        (200.0, 200.0), (435.0, 435.0),
+    ),
+    ManyCoreSystem(
+        "Centip3De", "Cortex-M3", 64, (64, 64), 130, (203.0, 1851.0),
+        (20.0, 80.0), (2300.0, 2540.0),
+    ),
+    ManyCoreSystem(
+        "Tile64", "Tile", 64, (64, 480), 130, (300.0, 300.0), (1000.0, 1000.0),
+        (300.0, 300.0),
+    ),
+    ManyCoreSystem(
+        "Epiphany-IV", "Epiphany", 64, (64, 64), 28, (31.0, 31.0), (800.0, 800.0),
+        (38.8, 38.8),
+    ),
+]
+
+
+def table_iii_by_power() -> list[ManyCoreSystem]:
+    """Table III ordered by (low-end) power per core."""
+    return sorted(TABLE_III, key=lambda s: s.power_per_core_mw[0])
+
+
+def swallow_power_rank() -> int:
+    """Swallow's 1-based rank by power/core (paper: "in the middle")."""
+    ordered = table_iii_by_power()
+    return next(
+        i + 1 for i, system in enumerate(ordered) if system.name == "Swallow"
+    )

@@ -1,0 +1,119 @@
+"""Computation-to-communication (E/C) ratio analysis (paper §V.D).
+
+E is the data rate compute *could* produce: 32 bits per instruction at
+the Eq. 2 issue rate — 4 Gbit/s per thread, 16 Gbit/s per core with four
+or more threads.  C is the data rate the communication path sustains.
+The paper's worst-case channel rates use the Table I operating points
+(250 Mbit/s internal, 62.5 Mbit/s external) and conclude:
+
+    ==============================================  =====
+    scenario                                        E/C
+    ==============================================  =====
+    core-local                                          1
+    four aggregated in-package links (1 Gbit/s)        16
+    four aggregated external links (250 Mbit/s)        64
+    four threads contending one external link         256
+    slice vertical bisection (128 G over 250 M)       512
+    ==============================================  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.throughput import ips_per_core, ips_per_thread
+from repro.network.params import (
+    INTERNAL_LINKS_PER_PACKAGE,
+    LINK_BOARD_VERTICAL,
+    LINK_ON_CHIP,
+)
+from repro.network.topology import SLICE_PACKAGES_X
+
+#: Bits each instruction operates on.
+BITS_PER_INSTRUCTION = 32
+
+
+def execution_rate_bps(f_hz: float = 500e6, threads: int = 4) -> float:
+    """E: bits/s a core's compute can produce (Eq. 2 x 32 bits)."""
+    return ips_per_core(f_hz, threads) * BITS_PER_INSTRUCTION
+
+
+def thread_execution_rate_bps(f_hz: float = 500e6, threads: int = 4) -> float:
+    """E of a single thread among ``threads`` active ones."""
+    return ips_per_thread(f_hz, threads) * BITS_PER_INSTRUCTION
+
+
+def ec_ratio(e_bps: float, c_bps: float) -> float:
+    """The ratio E/C; > 1 means communication-bound."""
+    if c_bps <= 0:
+        raise ValueError(f"communication rate must be positive, got {c_bps}")
+    if e_bps < 0:
+        raise ValueError(f"execution rate must be non-negative, got {e_bps}")
+    return e_bps / c_bps
+
+
+@dataclass(frozen=True)
+class EcScenario:
+    """One named E/C scenario."""
+
+    name: str
+    e_bps: float
+    c_bps: float
+    paper_value: float
+
+    @property
+    def ratio(self) -> float:
+        """Computed E/C."""
+        return ec_ratio(self.e_bps, self.c_bps)
+
+
+def paper_scenarios(f_hz: float = 500e6) -> list[EcScenario]:
+    """The five §V.D scenarios, computed from system constants."""
+    core_e = execution_rate_bps(f_hz)
+    internal = LINK_ON_CHIP.operating_bitrate       # 250 Mbit/s worst case
+    external = LINK_BOARD_VERTICAL.operating_bitrate  # 62.5 Mbit/s
+    slice_bisection_c = SLICE_PACKAGES_X * external   # 4 columns x 62.5 M
+    half_slice_cores = 8
+    return [
+        EcScenario(
+            name="core-local",
+            e_bps=core_e,
+            c_bps=core_e,     # "Core-local communication can sustain this"
+            paper_value=1.0,
+        ),
+        EcScenario(
+            name="in-package (4 aggregated links)",
+            e_bps=core_e,
+            c_bps=INTERNAL_LINKS_PER_PACKAGE * internal,
+            paper_value=16.0,
+        ),
+        EcScenario(
+            name="external (4 aggregated links)",
+            e_bps=core_e,
+            c_bps=4 * external,
+            paper_value=64.0,
+        ),
+        EcScenario(
+            name="four threads contending one external link",
+            e_bps=core_e,
+            c_bps=external,
+            paper_value=256.0,
+        ),
+        EcScenario(
+            name="slice vertical bisection",
+            e_bps=half_slice_cores * core_e,
+            c_bps=slice_bisection_c,
+            paper_value=512.0,
+        ),
+    ]
+
+
+#: System-wide E/C range of the related-work survey (§V.D / §VI).
+RELATED_WORK_EC_RANGE = (0.42, 55.0)
+
+
+def measured_ec(instructions: int, bits_communicated: int) -> float:
+    """E/C of an actual run: instruction bits over communicated bits."""
+    if bits_communicated <= 0:
+        raise ValueError("communicated bits must be positive")
+    return instructions * BITS_PER_INSTRUCTION / bits_communicated

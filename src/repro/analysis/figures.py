@@ -1,0 +1,190 @@
+"""Figure/series data for every plot in the paper, as plain rows.
+
+Each function returns ``(header, rows)`` ready for CSV export or
+plotting; ``python -m repro figures --out DIR`` writes them all.  The
+*measured* series run real simulations (a few hundred ms each); the
+*derived* series evaluate the models directly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import TABLE_II, TABLE_III
+from repro.analysis.ec_ratio import paper_scenarios
+from repro.energy.dvfs import figure4_series
+from repro.energy.link_energy import table_i
+from repro.energy.power_model import (
+    F_MAX_MHZ,
+    F_MIN_MHZ,
+    active_power_mw,
+    idle_power_mw,
+    node_power_breakdown,
+)
+
+Series = tuple[list[str], list[list]]
+
+
+def fig2_breakdown() -> Series:
+    """Fig. 2: per-node power decomposition."""
+    breakdown = node_power_breakdown()
+    shares = breakdown.shares()
+    rows = [
+        [name, getattr(breakdown, name), round(share, 4)]
+        for name, share in shares.items()
+    ]
+    return ["component", "power_mw", "share"], rows
+
+
+def fig3_scaling(points: int = 20, measured: bool = False) -> Series:
+    """Fig. 3: four-core power vs frequency, loaded and idle.
+
+    ``measured=True`` simulates each operating point instead of
+    evaluating Eq. 1 / the idle fit (slower; used by the bench).
+    """
+    header = ["f_mhz", "loaded_4core_mw", "idle_4core_mw"]
+    rows = []
+    for i in range(points):
+        f_mhz = F_MIN_MHZ + (F_MAX_MHZ - F_MIN_MHZ) * i / (points - 1)
+        if measured:
+            loaded = _measured_group_power(f_mhz, loaded=True)
+            idle = _measured_group_power(f_mhz, loaded=False)
+        else:
+            loaded = 4 * active_power_mw(f_mhz)
+            idle = 4 * idle_power_mw(f_mhz)
+        rows.append([round(f_mhz, 1), round(loaded, 2), round(idle, 2)])
+    return header, rows
+
+
+def _measured_group_power(f_mhz: float, loaded: bool) -> float:
+    from repro.energy.accounting import EnergyAccounting
+    from repro.sim import Frequency, Simulator, us
+    from repro.xs1 import LoopbackFabric, XCore, assemble
+
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    cores = [XCore(sim, node_id=i, fabric=fabric) for i in range(4)]
+    for core in cores:
+        core.set_frequency(Frequency.mhz(f_mhz))
+    if loaded:
+        program = assemble(
+            "ldc r0, 500000\nloop: subi r0, r0, 1\nbt r0, loop\nfreet"
+        )
+        for core in cores:
+            for _ in range(4):
+                core.spawn(program)
+    ledger = EnergyAccounting(sim, cores, include_support=False)
+    sim.run_for(us(100))
+    return ledger.total_energy_j() / 100e-6 * 1e3
+
+
+def fig4_dvfs(points: int = 20) -> Series:
+    """Fig. 4: power at 1 V vs after voltage scaling, one loaded core."""
+    rows = [
+        [round(r["f_mhz"], 1), round(r["p_1v_mw"], 2), round(r["p_dvfs_mw"], 2)]
+        for r in figure4_series(points)
+    ]
+    return ["f_mhz", "p_1v_mw", "p_dvfs_mw"], rows
+
+
+def table1_links() -> Series:
+    """Table I rows."""
+    rows = [
+        [r.link_type, r.data_rate_mbit, r.max_power_mw, round(r.energy_per_bit_pj, 1)]
+        for r in table_i()
+    ]
+    return ["link_type", "data_rate_mbit", "max_power_mw", "energy_pj_per_bit"], rows
+
+
+def table2_processors() -> Series:
+    """Table II rows plus the requirement verdict."""
+    rows = [
+        [
+            p.name,
+            p.cores,
+            p.data_width_bits,
+            int(p.superscalar),
+            {True: "yes", False: "no", None: "optional"}[p.has_cache],
+            p.multicore_interconnect or "none",
+            p.time_deterministic.value,
+            int(p.meets_all_requirements()),
+        ]
+        for p in TABLE_II
+    ]
+    return [
+        "processor", "cores", "width_bits", "superscalar", "cache",
+        "interconnect", "time_deterministic", "meets_all",
+    ], rows
+
+
+def table3_systems() -> Series:
+    """Table III rows with the recomputed μW/MHz column."""
+    rows = []
+    for s in TABLE_III:
+        low, high = s.computed_uw_per_mhz()
+        rows.append([
+            s.name, s.isa, s.cores_per_chip, s.total_cores[1], s.tech_node_nm,
+            s.power_per_core_mw[0], s.frequency_mhz[1],
+            s.published_uw_per_mhz[0], round(low, 1),
+        ])
+    return [
+        "system", "isa", "cores_per_chip", "max_total_cores", "tech_nm",
+        "power_per_core_mw", "frequency_mhz", "published_uw_per_mhz",
+        "recomputed_uw_per_mhz",
+    ], rows
+
+
+def ec_ladder() -> Series:
+    """§V.D's five E/C scenarios."""
+    rows = [
+        [s.name, s.e_bps, s.c_bps, s.paper_value, round(s.ratio, 1)]
+        for s in paper_scenarios()
+    ]
+    return ["scenario", "e_bps", "c_bps", "paper_ec", "computed_ec"], rows
+
+
+def eq2_throughput() -> Series:
+    """Eq. 2 per-thread and per-core MIPS for 1..8 threads."""
+    from repro.analysis.throughput import ips_per_core, ips_per_thread
+
+    rows = [
+        [n, ips_per_thread(500e6, n) / 1e6, ips_per_core(500e6, n) / 1e6]
+        for n in range(1, 9)
+    ]
+    return ["threads", "thread_mips", "core_mips"], rows
+
+
+#: Every exportable series: name -> builder.
+ALL_FIGURES = {
+    "fig2_breakdown": fig2_breakdown,
+    "fig3_scaling": fig3_scaling,
+    "fig4_dvfs": fig4_dvfs,
+    "table1_links": table1_links,
+    "table2_processors": table2_processors,
+    "table3_systems": table3_systems,
+    "ec_ladder": ec_ladder,
+    "eq2_throughput": eq2_throughput,
+}
+
+
+def export_csv(directory, names: list[str] | None = None) -> list[str]:
+    """Write the selected (default: all) series as CSV files.
+
+    Returns the written file paths.
+    """
+    import csv
+    from pathlib import Path
+
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in names or sorted(ALL_FIGURES):
+        builder = ALL_FIGURES.get(name)
+        if builder is None:
+            raise KeyError(f"unknown figure {name!r}; have {sorted(ALL_FIGURES)}")
+        header, rows = builder()
+        path = out_dir / f"{name}.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+        written.append(str(path))
+    return written

@@ -1,0 +1,59 @@
+"""Computational throughput (paper Eq. 2 and the 240 GIPS headline).
+
+    IPS_t = f / max(4, N_t)        IPS_c = f * min(4, N_t) / 4
+
+These are the analytic forms; :func:`measured_core_ips` extracts the same
+quantity from an actual simulation so the Eq. 2 bench can compare
+mechanism against formula.
+"""
+
+from __future__ import annotations
+
+from repro.sim import PS_PER_S
+from repro.xs1.core import XCore
+
+#: Pipeline depth of the XS1-L (the 4 in Eq. 2).
+PIPELINE_DEPTH = 4
+
+#: Peak per-core rate at 500 MHz: 500 MIPS.
+PEAK_CORE_MIPS = 500.0
+
+
+def ips_per_thread(f_hz: float, active_threads: int) -> float:
+    """Eq. 2: instructions per second of each active thread."""
+    _check(f_hz, active_threads)
+    if active_threads == 0:
+        return 0.0
+    return f_hz / max(PIPELINE_DEPTH, active_threads)
+
+
+def ips_per_core(f_hz: float, active_threads: int) -> float:
+    """Eq. 2: aggregate instructions per second of one core."""
+    _check(f_hz, active_threads)
+    return f_hz * min(PIPELINE_DEPTH, active_threads) / PIPELINE_DEPTH
+
+
+def system_gips(cores: int, f_hz: float = 500e6, active_threads: int = 4) -> float:
+    """Aggregate throughput in GIPS (the paper's "up to 240 GIPS")."""
+    if cores < 0:
+        raise ValueError("core count must be non-negative")
+    return cores * ips_per_core(f_hz, active_threads) / 1e9
+
+
+def single_thread_mips(f_hz: float = 500e6) -> float:
+    """One thread's issue rate in MIPS (§V.D: "125 MIPS")."""
+    return ips_per_thread(f_hz, 1) / 1e6
+
+
+def measured_core_ips(core: XCore, elapsed_ps: int) -> float:
+    """Instructions per second a simulated core actually achieved."""
+    if elapsed_ps <= 0:
+        raise ValueError("elapsed time must be positive")
+    return core.stats.total_instructions / (elapsed_ps / PS_PER_S)
+
+
+def _check(f_hz: float, active_threads: int) -> None:
+    if f_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {f_hz}")
+    if active_threads < 0:
+        raise ValueError(f"thread count must be non-negative, got {active_threads}")

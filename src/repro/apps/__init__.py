@@ -1,0 +1,53 @@
+"""Application substrate: channels, parallel patterns, placement."""
+
+from repro.apps.channels import AppChannel
+from repro.apps.kernels import (
+    Kernel,
+    bubble_sort,
+    checksum32,
+    default_suite,
+    dot_product,
+    fibonacci,
+    matrix_multiply,
+    memcpy_words,
+    run_kernel,
+    vector_scale,
+)
+from repro.apps.mapping import Placement, communication_scope, place
+from repro.apps.patterns import (
+    PatternResult,
+    SharedMemoryServer,
+    build_bsp,
+    build_client_server,
+    build_message_ring,
+    build_pipeline,
+    build_task_farm,
+    shmem_read,
+    shmem_write,
+)
+
+__all__ = [
+    "AppChannel",
+    "Kernel",
+    "PatternResult",
+    "bubble_sort",
+    "build_bsp",
+    "checksum32",
+    "default_suite",
+    "dot_product",
+    "fibonacci",
+    "matrix_multiply",
+    "memcpy_words",
+    "run_kernel",
+    "vector_scale",
+    "Placement",
+    "SharedMemoryServer",
+    "build_client_server",
+    "build_message_ring",
+    "build_pipeline",
+    "build_task_farm",
+    "communication_scope",
+    "place",
+    "shmem_read",
+    "shmem_write",
+]

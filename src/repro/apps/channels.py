@@ -1,0 +1,35 @@
+"""Channel helpers for application code.
+
+A :class:`AppChannel` is an allocated, destination-wired chanend pair —
+the unit application patterns compose from.  The raw chanend API stays
+available underneath for protocols that need control tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xs1.chanend import Chanend
+from repro.xs1.core import XCore
+
+
+@dataclass
+class AppChannel:
+    """A bidirectional channel between two cores (or one core twice)."""
+
+    a: Chanend
+    b: Chanend
+
+    @classmethod
+    def between(cls, core_a: XCore, core_b: XCore) -> "AppChannel":
+        """Allocate ends on both cores and wire them to each other."""
+        end_a = core_a.allocate_chanend()
+        end_b = core_b.allocate_chanend()
+        end_a.set_dest(end_b.address)
+        end_b.set_dest(end_a.address)
+        return cls(a=end_a, b=end_b)
+
+    @property
+    def bits_moved(self) -> int:
+        """Payload bits sent over the channel in both directions."""
+        return 8 * (self.a.tokens_sent + self.b.tokens_sent)

@@ -1,0 +1,343 @@
+"""Assembly benchmark kernels.
+
+Small, real XS1-subset programs — the kind of code the paper's energy
+model was profiled on (ref. [4]).  Each kernel has a distinct
+instruction mix, so running them through the instruction-energy model
+shows the paper's point that energy is "dependent upon the operations
+[instructions] perform".
+
+Every builder returns a :class:`Kernel`: the assembled program, where it
+reads inputs and writes results in SRAM, and a pure-Python reference
+implementation used by the tests and the verification helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.xs1.assembler import Program, assemble
+from repro.xs1.core import XCore
+from repro.xs1.memory import Sram
+
+#: SRAM layout used by all kernels.
+INPUT_A = 0x1000
+INPUT_B = 0x2000
+OUTPUT = 0x3000
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One benchmark kernel."""
+
+    name: str
+    program: Program
+    #: Words of output at OUTPUT.
+    output_words: int
+    #: reference(memory) -> expected output words.
+    reference: Callable[[Sram], list[int]]
+
+    def load_inputs(self, core: XCore, a: list[int], b: list[int] | None = None) -> None:
+        """Write input vectors into the kernel's SRAM regions."""
+        for offset, value in enumerate(a):
+            core.memory.store_word(INPUT_A + 4 * offset, value)
+        for offset, value in enumerate(b or []):
+            core.memory.store_word(INPUT_B + 4 * offset, value)
+
+    def read_output(self, core: XCore) -> list[int]:
+        """The kernel's result words."""
+        return [
+            core.memory.load_word(OUTPUT + 4 * i) for i in range(self.output_words)
+        ]
+
+
+def memcpy_words(n: int) -> Kernel:
+    """Copy ``n`` words from INPUT_A to OUTPUT."""
+    program = assemble(f"""
+        .equ N, {n}
+        start:
+            ldc r0, {INPUT_A}
+            ldc r1, {OUTPUT}
+            ldc r2, N
+        loop:
+            ldw r3, r0, 0
+            stw r3, r1, 0
+            addi r0, r0, 4
+            addi r1, r1, 4
+            subi r2, r2, 1
+            bt r2, loop
+            freet
+    """, name=f"memcpy[{n}]")
+
+    def reference(memory: Sram) -> list[int]:
+        return [memory.load_word(INPUT_A + 4 * i) for i in range(n)]
+
+    return Kernel("memcpy", program, n, reference)
+
+
+def dot_product(n: int) -> Kernel:
+    """OUTPUT[0] = sum(A[i] * B[i])."""
+    program = assemble(f"""
+        .equ N, {n}
+        start:
+            ldc r0, {INPUT_A}
+            ldc r1, {INPUT_B}
+            ldc r2, N
+            ldc r3, 0
+        loop:
+            ldw r4, r0, 0
+            ldw r5, r1, 0
+            mul r6, r4, r5
+            add r3, r3, r6
+            addi r0, r0, 4
+            addi r1, r1, 4
+            subi r2, r2, 1
+            bt r2, loop
+            ldc r7, {OUTPUT}
+            stw r3, r7, 0
+            freet
+    """, name=f"dot[{n}]")
+
+    def reference(memory: Sram) -> list[int]:
+        total = 0
+        for i in range(n):
+            total += memory.load_word(INPUT_A + 4 * i) * memory.load_word(
+                INPUT_B + 4 * i
+            )
+        return [total & 0xFFFF_FFFF]
+
+    return Kernel("dot-product", program, 1, reference)
+
+
+def vector_scale(n: int, factor: int) -> Kernel:
+    """OUTPUT[i] = A[i] * factor."""
+    program = assemble(f"""
+        .equ N, {n}
+        .equ K, {factor}
+        start:
+            ldc r0, {INPUT_A}
+            ldc r1, {OUTPUT}
+            ldc r2, N
+            ldc r7, K
+        loop:
+            ldw r3, r0, 0
+            mul r3, r3, r7
+            stw r3, r1, 0
+            addi r0, r0, 4
+            addi r1, r1, 4
+            subi r2, r2, 1
+            bt r2, loop
+            freet
+    """, name=f"scale[{n}]")
+
+    def reference(memory: Sram) -> list[int]:
+        return [
+            (memory.load_word(INPUT_A + 4 * i) * factor) & 0xFFFF_FFFF
+            for i in range(n)
+        ]
+
+    return Kernel("vector-scale", program, n, reference)
+
+
+def checksum32(n: int) -> Kernel:
+    """A rotate-xor checksum over ``n`` words (shift/logic heavy)."""
+    program = assemble(f"""
+        .equ N, {n}
+        start:
+            ldc r0, {INPUT_A}
+            ldc r2, N
+            ldc r3, 0          # accumulator
+            ldc r8, 5          # rotate amount
+            ldc r9, 27         # 32 - rotate
+        loop:
+            ldw r4, r0, 0
+            shl r5, r3, r8
+            shr r6, r3, r9
+            or r3, r5, r6      # rotl(acc, 5)
+            xor r3, r3, r4
+            addi r0, r0, 4
+            subi r2, r2, 1
+            bt r2, loop
+            ldc r7, {OUTPUT}
+            stw r3, r7, 0
+            freet
+    """, name=f"checksum[{n}]")
+
+    def reference(memory: Sram) -> list[int]:
+        acc = 0
+        for i in range(n):
+            acc = ((acc << 5) | (acc >> 27)) & 0xFFFF_FFFF
+            acc ^= memory.load_word(INPUT_A + 4 * i)
+        return [acc]
+
+    return Kernel("checksum32", program, 1, reference)
+
+
+def bubble_sort(n: int) -> Kernel:
+    """Sort ``n`` words of INPUT_A ascending into OUTPUT (copy + sort)."""
+    program = assemble(f"""
+        .equ N, {n}
+        start:
+            # copy A -> OUTPUT
+            ldc r0, {INPUT_A}
+            ldc r1, {OUTPUT}
+            ldc r2, N
+        copy:
+            ldw r3, r0, 0
+            stw r3, r1, 0
+            addi r0, r0, 4
+            addi r1, r1, 4
+            subi r2, r2, 1
+            bt r2, copy
+            # bubble sort OUTPUT in place
+            ldc r10, N
+            subi r10, r10, 1   # passes remaining
+        outer:
+            bf r10, done
+            ldc r0, {OUTPUT}
+            mov r2, r10
+        inner:
+            ldw r3, r0, 0
+            ldw r4, r0, 1
+            lsu r5, r4, r3     # r4 < r3 ? swap
+            bf r5, no_swap
+            stw r4, r0, 0
+            stw r3, r0, 1
+        no_swap:
+            addi r0, r0, 4
+            subi r2, r2, 1
+            bt r2, inner
+            subi r10, r10, 1
+            bu outer
+        done:
+            freet
+    """, name=f"sort[{n}]")
+
+    def reference(memory: Sram) -> list[int]:
+        return sorted(memory.load_word(INPUT_A + 4 * i) for i in range(n))
+
+    return Kernel("bubble-sort", program, n, reference)
+
+
+def matrix_multiply(n: int) -> Kernel:
+    """OUTPUT = A x B for n x n row-major word matrices."""
+    program = assemble(f"""
+        .equ N, {n}
+        start:
+            ldc r10, 0          # i
+        row:
+            ldc r11, 0          # j
+        col:
+            ldc r3, 0           # acc
+            ldc r2, 0           # k
+        mac:
+            # r4 = A[i*N + k]
+            ldc r5, N
+            mul r6, r10, r5
+            add r6, r6, r2
+            shli r6, r6, 2
+            ldc r7, {INPUT_A}
+            add r6, r6, r7
+            ldw r4, r6, 0
+            # r8 = B[k*N + j]
+            mul r6, r2, r5
+            add r6, r6, r11
+            shli r6, r6, 2
+            ldc r7, {INPUT_B}
+            add r6, r6, r7
+            ldw r8, r6, 0
+            mul r9, r4, r8
+            add r3, r3, r9
+            addi r2, r2, 1
+            lsu r6, r2, r5
+            bt r6, mac
+            # OUTPUT[i*N + j] = acc
+            mul r6, r10, r5
+            add r6, r6, r11
+            shli r6, r6, 2
+            ldc r7, {OUTPUT}
+            add r6, r6, r7
+            stw r3, r6, 0
+            addi r11, r11, 1
+            lsu r6, r11, r5
+            bt r6, col
+            addi r10, r10, 1
+            lsu r6, r10, r5
+            bt r6, row
+            freet
+    """, name=f"matmul[{n}]")
+
+    def reference(memory: Sram) -> list[int]:
+        a = [memory.load_word(INPUT_A + 4 * i) for i in range(n * n)]
+        b = [memory.load_word(INPUT_B + 4 * i) for i in range(n * n)]
+        out = []
+        for i in range(n):
+            for j in range(n):
+                total = sum(a[i * n + k] * b[k * n + j] for k in range(n))
+                out.append(total & 0xFFFF_FFFF)
+        return out
+
+    return Kernel("matmul", program, n * n, reference)
+
+
+def fibonacci(count: int) -> Kernel:
+    """OUTPUT[i] = fib(i) for i < count (pure ALU/branch mix)."""
+    program = assemble(f"""
+        .equ N, {count}
+        start:
+            ldc r0, {OUTPUT}
+            ldc r1, 0           # fib(i)
+            ldc r2, 1           # fib(i+1)
+            ldc r3, N
+        loop:
+            stw r1, r0, 0
+            add r4, r1, r2
+            mov r1, r2
+            mov r2, r4
+            addi r0, r0, 4
+            subi r3, r3, 1
+            bt r3, loop
+            freet
+    """, name=f"fib[{count}]")
+
+    def reference(memory: Sram) -> list[int]:
+        out, a, b = [], 0, 1
+        for _ in range(count):
+            out.append(a & 0xFFFF_FFFF)
+            a, b = b, (a + b) & 0xFFFF_FFFF
+        return out
+
+    return Kernel("fibonacci", program, count, reference)
+
+
+#: Registry of default-sized kernels for suites and benches.
+def default_suite() -> list[Kernel]:
+    """A representative kernel suite with varied instruction mixes."""
+    return [
+        memcpy_words(32),
+        dot_product(32),
+        vector_scale(32, 7),
+        checksum32(32),
+        bubble_sort(12),
+        matrix_multiply(4),
+        fibonacci(32),
+    ]
+
+
+def run_kernel(core: XCore, kernel: Kernel, a: list[int] | None = None,
+               b: list[int] | None = None):
+    """Load inputs, run the kernel to completion, verify, and return
+    (outputs, thread).  Raises AssertionError on a wrong result."""
+    if a is not None:
+        kernel.load_inputs(core, a, b)
+    thread = core.spawn(kernel.program)
+    core.sim.run()
+    if not thread.halted:
+        raise RuntimeError(f"{kernel.name}: kernel did not finish")
+    outputs = kernel.read_output(core)
+    expected = kernel.reference(core.memory)
+    if outputs != expected:
+        raise AssertionError(
+            f"{kernel.name}: output {outputs[:8]}... != expected {expected[:8]}..."
+        )
+    return outputs, thread

@@ -1,0 +1,89 @@
+"""Task-to-core placement strategies.
+
+§V.D's recommendations — prefer core-local, then chip-local, then
+off-chip communication — become placement *strategies* here; the
+locality ablation bench runs the same pipeline under each and compares
+throughput, latency and energy.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.board.assembly import MachineAssembly
+from repro.network.routing import Layer
+from repro.xs1.core import XCore
+
+
+class Placement(Enum):
+    """Where consecutive tasks land relative to each other."""
+
+    SAME_CORE = "same-core"          # hardware threads of one core
+    SAME_PACKAGE = "same-package"    # alternate between a package's two cores
+    SAME_SLICE = "same-slice"        # walk the cores of one board
+    CROSS_SLICE = "cross-slice"      # one core per slice, round-robin
+
+
+def place(machine: MachineAssembly, count: int, strategy: Placement) -> list[XCore]:
+    """Choose ``count`` cores for consecutive tasks under ``strategy``.
+
+    The list may repeat core objects (SAME_CORE repeats one core
+    ``count`` times — its hardware threads carry the tasks).
+    """
+    if count < 1:
+        raise ValueError("need at least one task")
+    if strategy is Placement.SAME_CORE:
+        core = machine.cores[0]
+        if count > core.config.max_threads:
+            raise ValueError(
+                f"{count} tasks exceed the {core.config.max_threads} "
+                "hardware threads of one core"
+            )
+        return [core] * count
+
+    if strategy is Placement.SAME_PACKAGE:
+        chip = machine.slices[0].chips[0]
+        pair = [chip.vertical_core, chip.horizontal_core]
+        _check_thread_budget(pair, count)
+        return [pair[i % 2] for i in range(count)]
+
+    if strategy is Placement.SAME_SLICE:
+        cores = machine.slices[0].cores
+        if count > len(cores):
+            _check_thread_budget(cores, count)
+        return [cores[i % len(cores)] for i in range(count)]
+
+    if strategy is Placement.CROSS_SLICE:
+        if len(machine.slices) < 2:
+            raise ValueError("cross-slice placement needs at least two slices")
+        firsts = [board.cores[0] for board in machine.slices]
+        _check_thread_budget(firsts, count)
+        return [firsts[i % len(firsts)] for i in range(count)]
+
+    raise ValueError(f"unknown strategy {strategy}")
+
+
+def _check_thread_budget(cores: list[XCore], count: int) -> None:
+    unique = {id(core): core for core in cores}.values()
+    budget = sum(core.config.max_threads for core in unique)
+    if count > budget:
+        raise ValueError(f"{count} tasks exceed the {budget} available threads")
+
+
+def communication_scope(cores: list[XCore], machine: MachineAssembly) -> str:
+    """Classify the widest communication a placement induces.
+
+    Returns one of ``core-local``, ``chip-local``, ``board-local``,
+    ``off-board`` — the paper's locality tiers.
+    """
+    topology = machine.topology
+    coords = [topology.coord_of(core.node_id) for core in cores]
+    slices = {topology.slice_of(core.node_id) for core in cores}
+    if len(slices) > 1:
+        return "off-board"
+    packages = {(c.x, c.y) for c in coords}
+    if len(packages) > 1:
+        return "board-local"
+    if len({core.node_id for core in cores}) > 1:
+        return "chip-local"
+    return "core-local"

@@ -1,0 +1,385 @@
+"""Parallel application patterns (paper §I's "variety of parallel
+application types and data sharing methods": task groups, pipelines,
+client/server, message passing, shared memory).
+
+Each builder spawns behavioural threads on the caller's cores and
+returns a result object that fills in as the simulation runs.  Patterns
+are deterministic: given the same cores and parameters they produce the
+same schedule, timing and traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.channels import AppChannel
+from repro.xs1.behavioral import (
+    BehavioralThread,
+    CheckCt,
+    Compute,
+    RecvWord,
+    SendCt,
+    SendWord,
+)
+from repro.xs1.core import XCore
+from repro.xs1.isa import CT_END
+
+#: Sentinel item value signalling end-of-stream inside patterns.
+_STOP = 0xFFFF_FFFF
+
+
+def send_packet(chanend, *words):
+    """Send words as one packet: payload then the route-closing END.
+
+    Patterns use packet mode rather than held-open circuits so that
+    channels sharing a physical link interleave instead of starving each
+    other (paper §V.B).
+    """
+    for word in words:
+        yield SendWord(chanend, word)
+    yield SendCt(chanend, CT_END)
+
+
+def recv_packet_word(chanend):
+    """Receive a single-word packet; returns the word."""
+    value = yield RecvWord(chanend)
+    yield CheckCt(chanend, CT_END)
+    return value
+
+
+@dataclass
+class PatternResult:
+    """Completion record of a pattern run."""
+
+    name: str
+    items: int
+    outputs: list[int] = field(default_factory=list)
+    finish_times_ps: list[int] = field(default_factory=list)
+    channels: list[AppChannel] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every expected item has been produced."""
+        return len(self.outputs) >= self.items
+
+    @property
+    def makespan_ps(self) -> int:
+        """Time of the last completed item."""
+        return max(self.finish_times_ps) if self.finish_times_ps else 0
+
+    @property
+    def bits_moved(self) -> int:
+        """Total channel traffic of the pattern."""
+        return sum(channel.bits_moved for channel in self.channels)
+
+
+def build_pipeline(
+    cores: list[XCore],
+    items: int,
+    compute_per_stage: int,
+    name: str = "pipeline",
+) -> PatternResult:
+    """A processing pipeline: one stage per core.
+
+    The first core sources ``items`` integers, each stage adds
+    ``compute_per_stage`` instructions of work and increments the value,
+    and the final stage records outputs and completion times.
+    """
+    if len(cores) < 2:
+        raise ValueError("a pipeline needs at least two cores")
+    if items < 1:
+        raise ValueError("need at least one item")
+    result = PatternResult(name=name, items=items)
+    channels = [
+        AppChannel.between(cores[i], cores[i + 1]) for i in range(len(cores) - 1)
+    ]
+    result.channels = channels
+    sim = cores[0].sim
+
+    def source():
+        for i in range(items):
+            yield Compute(compute_per_stage)
+            yield from send_packet(channels[0].a, i)
+
+    def stage(index):
+        def body():
+            for _ in range(items):
+                value = yield from recv_packet_word(channels[index - 1].b)
+                yield Compute(compute_per_stage)
+                yield from send_packet(channels[index].a, value + 1)
+        return body
+
+    def sink():
+        for _ in range(items):
+            value = yield from recv_packet_word(channels[-1].b)
+            yield Compute(compute_per_stage)
+            result.outputs.append(value + 1)
+            result.finish_times_ps.append(sim.now)
+
+    BehavioralThread(cores[0], source(), name=f"{name}.source")
+    for index in range(1, len(cores) - 1):
+        BehavioralThread(cores[index], stage(index)(), name=f"{name}.s{index}")
+    BehavioralThread(cores[-1], sink(), name=f"{name}.sink")
+    return result
+
+
+def build_task_farm(
+    master: XCore,
+    workers: list[XCore],
+    items: int,
+    compute_per_item: int,
+    name: str = "farm",
+) -> PatternResult:
+    """A master/worker task farm with round-robin distribution."""
+    if not workers:
+        raise ValueError("a farm needs at least one worker")
+    if items < 1:
+        raise ValueError("need at least one item")
+    result = PatternResult(name=name, items=items)
+    channels = [AppChannel.between(master, worker) for worker in workers]
+    result.channels = channels
+    sim = master.sim
+    per_worker = [0] * len(workers)
+    for i in range(items):
+        per_worker[i % len(workers)] += 1
+
+    def master_body():
+        # Interleave sends and receives round-robin so channel buffers
+        # stay shallow regardless of item count.
+        outstanding = [0] * len(workers)
+        sent = received = 0
+        while received < items:
+            if sent < items:
+                index = sent % len(workers)
+                yield from send_packet(channels[index].a, sent)
+                outstanding[index] += 1
+                sent += 1
+            if sent == items or max(outstanding) >= 2:
+                index = received % len(workers)
+                if outstanding[index] > 0:
+                    value = yield from recv_packet_word(channels[index].a)
+                    outstanding[index] -= 1
+                    result.outputs.append(value)
+                    result.finish_times_ps.append(sim.now)
+                    received += 1
+
+    def worker_body(index):
+        def body():
+            for _ in range(per_worker[index]):
+                task = yield from recv_packet_word(channels[index].b)
+                yield Compute(compute_per_item)
+                yield from send_packet(channels[index].b, task * 2)
+        return body
+
+    BehavioralThread(master, master_body(), name=f"{name}.master")
+    for index, worker in enumerate(workers):
+        BehavioralThread(worker, worker_body(index)(), name=f"{name}.w{index}")
+    return result
+
+
+def build_client_server(
+    server: XCore,
+    clients: list[XCore],
+    requests_per_client: int,
+    compute_per_request: int,
+    name: str = "client-server",
+) -> PatternResult:
+    """Clients issue requests; one server answers them in arrival order.
+
+    The server polls its client channels round-robin — a deterministic
+    stand-in for the event-driven select of real XS1 code.
+    """
+    if not clients:
+        raise ValueError("need at least one client")
+    total = requests_per_client * len(clients)
+    result = PatternResult(name=name, items=total)
+    channels = [AppChannel.between(server, client) for client in clients]
+    result.channels = channels
+    sim = server.sim
+
+    def server_body():
+        remaining = [requests_per_client] * len(clients)
+        while sum(remaining) > 0:
+            for index, channel in enumerate(channels):
+                if remaining[index] == 0:
+                    continue
+                request = yield from recv_packet_word(channel.a)
+                yield Compute(compute_per_request)
+                yield from send_packet(channel.a, request + 1000)
+                remaining[index] -= 1
+
+    def client_body(index):
+        def body():
+            for r in range(requests_per_client):
+                yield from send_packet(channels[index].b, index * 100 + r)
+                response = yield from recv_packet_word(channels[index].b)
+                result.outputs.append(response)
+                result.finish_times_ps.append(sim.now)
+        return body
+
+    BehavioralThread(server, server_body(), name=f"{name}.server")
+    for index, client in enumerate(clients):
+        BehavioralThread(client, client_body(index)(), name=f"{name}.c{index}")
+    return result
+
+
+def build_message_ring(
+    cores: list[XCore],
+    rounds: int,
+    compute_per_hop: int = 0,
+    name: str = "ring",
+) -> PatternResult:
+    """Message passing around a ring of cores (a tasks-group exemplar).
+
+    A token circulates ``rounds`` times; every hop may add compute.  The
+    result's outputs are the token value after each full round.
+    """
+    if len(cores) < 2:
+        raise ValueError("a ring needs at least two cores")
+    result = PatternResult(name=name, items=rounds)
+    channels = [
+        AppChannel.between(cores[i], cores[(i + 1) % len(cores)])
+        for i in range(len(cores))
+    ]
+    result.channels = channels
+    sim = cores[0].sim
+
+    def head():
+        value = 0
+        for _ in range(rounds):
+            yield from send_packet(channels[0].a, value + 1)
+            value = yield from recv_packet_word(channels[-1].b)
+            result.outputs.append(value)
+            result.finish_times_ps.append(sim.now)
+
+    def relay(index):
+        def body():
+            for _ in range(rounds):
+                value = yield from recv_packet_word(channels[index - 1].b)
+                if compute_per_hop:
+                    yield Compute(compute_per_hop)
+                yield from send_packet(channels[index].a, value + 1)
+        return body
+
+    BehavioralThread(cores[0], head(), name=f"{name}.head")
+    for index in range(1, len(cores)):
+        BehavioralThread(cores[index], relay(index)(), name=f"{name}.n{index}")
+    return result
+
+
+def build_bsp(
+    cores: list[XCore],
+    supersteps: int,
+    compute_per_step: int,
+    name: str = "bsp",
+) -> PatternResult:
+    """A bulk-synchronous task group: compute, barrier, repeat.
+
+    The paper's "groups of tasks" style: every worker computes
+    ``compute_per_step`` instructions, then synchronises at a barrier
+    built from channels (worker -> coordinator -> worker), for
+    ``supersteps`` rounds.  Outputs record each worker's final round
+    count; finish times give the barrier-exit time of each superstep.
+    """
+    if len(cores) < 2:
+        raise ValueError("a task group needs a coordinator and >= 1 worker")
+    if supersteps < 1:
+        raise ValueError("need at least one superstep")
+    coordinator, workers = cores[0], cores[1:]
+    result = PatternResult(name=name, items=supersteps)
+    channels = [AppChannel.between(coordinator, worker) for worker in workers]
+    result.channels = channels
+    sim = coordinator.sim
+    rounds_done = [0] * len(workers)
+
+    def coordinator_body():
+        for _ in range(supersteps):
+            # Gather: every worker reports in...
+            for channel in channels:
+                yield from recv_packet_word(channel.a)
+            # ...then release: broadcast the barrier exit.
+            for channel in channels:
+                yield from send_packet(channel.a, 1)
+            result.finish_times_ps.append(sim.now)
+        # Final gather: each worker reports its completed round count.
+        for channel in channels:
+            result.outputs.append((yield from recv_packet_word(channel.a)))
+
+    def worker_body(index):
+        def body():
+            for _ in range(supersteps):
+                yield Compute(compute_per_step)
+                yield from send_packet(channels[index].b, index)
+                yield from recv_packet_word(channels[index].b)
+                rounds_done[index] += 1
+            yield from send_packet(channels[index].b, rounds_done[index])
+        return body
+
+    BehavioralThread(coordinator, coordinator_body(), name=f"{name}.coord")
+    for index, worker in enumerate(workers):
+        BehavioralThread(worker, worker_body(index)(), name=f"{name}.w{index}")
+    return result
+
+
+#: Shared-memory op codes (top bit of the request word).
+_OP_READ = 0
+_OP_WRITE = 1
+
+
+@dataclass
+class SharedMemoryServer:
+    """Software shared memory: one core serves loads/stores over channels.
+
+    The paper lists shared memory among Swallow's supported data-sharing
+    methods; with no coherent interconnect it is built exactly like this —
+    a memory-owning server and a message protocol.
+    """
+
+    core: XCore
+    channels: list[AppChannel] = field(default_factory=list)
+    requests_served: int = 0
+
+    def serve(self, total_requests: int) -> None:
+        """Spawn the server loop for a fixed number of requests."""
+        def body():
+            served = 0
+            while served < total_requests:
+                for channel in self.channels:
+                    if served >= total_requests:
+                        break
+                    request = yield RecvWord(channel.a)
+                    op = (request >> 31) & 1
+                    address = request & 0x7FFF_FFFF
+                    if op == _OP_WRITE:
+                        value = yield RecvWord(channel.a)
+                        yield CheckCt(channel.a, CT_END)
+                        self.core.memory.store_word(address, value)
+                        yield from send_packet(channel.a, 0)   # write ack
+                    else:
+                        yield CheckCt(channel.a, CT_END)
+                        yield from send_packet(
+                            channel.a, self.core.memory.load_word(address)
+                        )
+                    served += 1
+                    self.requests_served += 1
+
+        BehavioralThread(self.core, body(), name="shmem.server")
+
+    def connect(self, client: XCore) -> AppChannel:
+        """Attach a client core; returns its channel."""
+        channel = AppChannel.between(self.core, client)
+        self.channels.append(channel)
+        return channel
+
+
+def shmem_read(channel: AppChannel, address: int):
+    """Client-side read: yield ops; the final yield returns the value."""
+    yield from send_packet(channel.b, (_OP_READ << 31) | address)
+    value = yield from recv_packet_word(channel.b)
+    return value
+
+
+def shmem_write(channel: AppChannel, address: int, value: int):
+    """Client-side write (acknowledged)."""
+    yield from send_packet(channel.b, (_OP_WRITE << 31) | address, value)
+    yield from recv_packet_word(channel.b)

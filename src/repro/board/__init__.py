@@ -1,0 +1,59 @@
+"""Physical boards: power tree, assembly, manufacturing yield."""
+
+from repro.board.assembly import (
+    ChipAssembly,
+    MachineAssembly,
+    SliceAssembly,
+    build_machine,
+    build_stack,
+)
+from repro.board.power import (
+    CORES_PER_SLICE,
+    SLICE_HEIGHT_MM,
+    SLICE_INPUT_VOLTAGE,
+    SLICE_MAX_POWER_W,
+    SLICE_WIDTH_MM,
+    SMPS_EFFICIENCY,
+    SUPPORT_W_PER_SLICE,
+    SlicePowerReport,
+    headline_figures,
+    slice_power,
+    system_power_w,
+)
+from repro.board.yieldmodel import (
+    CONNECTOR_FAILURE_P,
+    MANUFACTURED_SLICES,
+    USABLE_SLICES,
+    SliceYield,
+    expected_usable,
+    largest_machine_cores,
+    manufacturing_run,
+    usable_slices,
+)
+
+__all__ = [
+    "CONNECTOR_FAILURE_P",
+    "CORES_PER_SLICE",
+    "ChipAssembly",
+    "MANUFACTURED_SLICES",
+    "MachineAssembly",
+    "SLICE_HEIGHT_MM",
+    "SLICE_INPUT_VOLTAGE",
+    "SLICE_MAX_POWER_W",
+    "SLICE_WIDTH_MM",
+    "SMPS_EFFICIENCY",
+    "SUPPORT_W_PER_SLICE",
+    "SliceAssembly",
+    "SlicePowerReport",
+    "SliceYield",
+    "USABLE_SLICES",
+    "build_machine",
+    "build_stack",
+    "expected_usable",
+    "headline_figures",
+    "largest_machine_cores",
+    "manufacturing_run",
+    "slice_power",
+    "system_power_w",
+    "usable_slices",
+]

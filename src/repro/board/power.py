@@ -1,0 +1,104 @@
+"""Board-level power tree (paper §III.A).
+
+The paper's roll-up: 193 mW/core maximum -> 3.1 W of core power per
+16-core slice; switch-mode conversion losses and support logic raise that
+to ~4.5 W/slice (260 mW/core system view), so the full 480-core, 30-slice
+machine draws 134 W.
+
+We model the tree explicitly: slice power = (sum of core powers) / SMPS
+efficiency + per-slice support.  The efficiency and support constants are
+calibrated so the paper's three headline numbers (3.1 W, 4.5 W, 134 W)
+fall out; both are overridable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.power_model import active_power_mw, core_power_mw
+
+#: Cores per slice (16 across 8 dual-core chips).
+CORES_PER_SLICE = 16
+
+#: Switch-mode supply efficiency (calibrated to the §III.A roll-up).
+SMPS_EFFICIENCY = 0.82
+
+#: Support logic + I/O per slice, W (calibrated to the §III.A roll-up).
+SUPPORT_W_PER_SLICE = 0.72
+
+#: Board input voltage and maximum operating power (paper §IV-B).
+SLICE_INPUT_VOLTAGE = 12.0
+SLICE_MAX_POWER_W = 5.0
+
+#: Board dimensions, mm (paper §IV-B).
+SLICE_WIDTH_MM = 105.0
+SLICE_HEIGHT_MM = 140.0
+
+
+@dataclass(frozen=True)
+class SlicePowerReport:
+    """Power roll-up of one slice."""
+
+    core_power_w: float
+    conversion_loss_w: float
+    support_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Board input power."""
+        return self.core_power_w + self.conversion_loss_w + self.support_w
+
+    @property
+    def per_core_mw(self) -> float:
+        """The paper's "mW/core equivalent" system view."""
+        return self.total_w / CORES_PER_SLICE * 1e3
+
+
+def slice_power(
+    f_mhz: float = 500.0,
+    utilization: float = 1.0,
+    active_cores: int = CORES_PER_SLICE,
+    smps_efficiency: float = SMPS_EFFICIENCY,
+    support_w: float = SUPPORT_W_PER_SLICE,
+) -> SlicePowerReport:
+    """Power of one slice with ``active_cores`` at the given load.
+
+    Inactive cores idle (utilization 0) rather than disappearing — there
+    is no per-core power gating on Swallow.
+    """
+    if not 0 <= active_cores <= CORES_PER_SLICE:
+        raise ValueError(f"active cores {active_cores} outside slice of {CORES_PER_SLICE}")
+    if not 0 < smps_efficiency <= 1:
+        raise ValueError(f"efficiency {smps_efficiency} outside (0, 1]")
+    active = core_power_mw(f_mhz, utilization) * active_cores
+    idle = core_power_mw(f_mhz, 0.0) * (CORES_PER_SLICE - active_cores)
+    core_w = (active + idle) * 1e-3
+    input_w = core_w / smps_efficiency
+    return SlicePowerReport(
+        core_power_w=core_w,
+        conversion_loss_w=input_w - core_w,
+        support_w=support_w,
+    )
+
+
+def system_power_w(
+    slices: int,
+    f_mhz: float = 500.0,
+    utilization: float = 1.0,
+) -> float:
+    """Total power of a machine of ``slices`` fully populated boards."""
+    if slices < 1:
+        raise ValueError("need at least one slice")
+    return slices * slice_power(f_mhz, utilization).total_w
+
+
+def headline_figures() -> dict[str, float]:
+    """The §III.A numbers: per-core, per-slice, losses and full system."""
+    report = slice_power()
+    return {
+        "core_max_mw": active_power_mw(500.0),
+        "slice_core_power_w": report.core_power_w,
+        "slice_total_w": report.total_w,
+        "per_core_system_mw": report.per_core_mw,
+        "system_480_cores_w": system_power_w(30),
+    }

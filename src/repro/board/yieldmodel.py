@@ -1,0 +1,81 @@
+"""Manufacturing-yield model (paper §IV-B).
+
+Forty slices were manufactured (enough for 640 cores), but "yield issues,
+mostly with edge connectors, mean that the largest machine we have been
+able to build and test is 480 cores" — i.e. 30 of 40 boards usable.
+
+The model is deterministic given a seed: each slice has a number of edge
+connectors, each failing independently; a slice is usable when every
+connector needed for its grid position works.  The default failure rate
+is calibrated so the expected usable count of a 40-board run matches the
+paper's 30.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.network.topology import SLICE_EDGE_PORTS
+
+#: Manufactured boards in the real project.
+MANUFACTURED_SLICES = 40
+#: Boards that made it into the largest tested machine.
+USABLE_SLICES = 30
+
+#: Per-connector failure probability, calibrated so that
+#: P(all 12 connectors fine) ~= 30/40 = 0.75  ->  p = 1 - 0.75^(1/12).
+CONNECTOR_FAILURE_P = 1.0 - (USABLE_SLICES / MANUFACTURED_SLICES) ** (
+    1.0 / SLICE_EDGE_PORTS
+)
+
+
+@dataclass(frozen=True)
+class SliceYield:
+    """Outcome of testing one manufactured slice."""
+
+    index: int
+    failed_connectors: tuple[int, ...]
+
+    @property
+    def usable(self) -> bool:
+        """A slice is usable when all its edge connectors test good."""
+        return not self.failed_connectors
+
+
+def manufacturing_run(
+    slices: int = MANUFACTURED_SLICES,
+    failure_p: float = CONNECTOR_FAILURE_P,
+    seed: int = 2015,
+) -> list[SliceYield]:
+    """Simulate testing a batch of manufactured slices."""
+    if slices < 0:
+        raise ValueError("slice count must be non-negative")
+    if not 0 <= failure_p <= 1:
+        raise ValueError(f"failure probability {failure_p} outside [0, 1]")
+    rng = random.Random(seed)
+    outcomes = []
+    for index in range(slices):
+        failed = tuple(
+            connector
+            for connector in range(SLICE_EDGE_PORTS)
+            if rng.random() < failure_p
+        )
+        outcomes.append(SliceYield(index=index, failed_connectors=failed))
+    return outcomes
+
+
+def usable_slices(outcomes: list[SliceYield]) -> int:
+    """Boards that can join a machine."""
+    return sum(1 for outcome in outcomes if outcome.usable)
+
+
+def largest_machine_cores(outcomes: list[SliceYield], cores_per_slice: int = 16) -> int:
+    """Cores in the largest machine buildable from a batch."""
+    return usable_slices(outcomes) * cores_per_slice
+
+
+def expected_usable(slices: int = MANUFACTURED_SLICES,
+                    failure_p: float = CONNECTOR_FAILURE_P) -> float:
+    """Expected usable boards of a batch (analytic)."""
+    return slices * (1.0 - failure_p) ** SLICE_EDGE_PORTS

@@ -1,0 +1,27 @@
+"""The assembled platform: SwallowSystem, transparency, governor, nOS."""
+
+from repro.core.governor import DEFAULT_LADDER_MHZ, GovernorLog, PowerGovernor
+from repro.core.nos import MapJob, NanoOS, TaskHandle
+from repro.core.platform import SwallowSystem
+from repro.core.transparency import (
+    CoreEnergyRow,
+    EnergyReport,
+    ThreadEnergyRow,
+    attribute_to_threads,
+    build_report,
+)
+
+__all__ = [
+    "CoreEnergyRow",
+    "ThreadEnergyRow",
+    "attribute_to_threads",
+    "DEFAULT_LADDER_MHZ",
+    "EnergyReport",
+    "GovernorLog",
+    "MapJob",
+    "NanoOS",
+    "PowerGovernor",
+    "SwallowSystem",
+    "TaskHandle",
+    "build_report",
+]

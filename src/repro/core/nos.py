@@ -1,0 +1,208 @@
+"""nOS-lite: a nano-sized distributed task runtime (paper ref. [3]).
+
+The Swallow project built "nOS: a nano-sized distributed operating
+system for resource optimisation on many-core systems".  This module is
+a lightweight reproduction of its placement/boot role: tasks are
+submitted centrally, placed onto the least-loaded cores (optionally
+pinned), and — when the machine has an Ethernet bridge — charged the
+realistic program-upload time before they start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.core.platform import SwallowSystem
+from repro.network.ethernet import EthernetBridge
+from repro.xs1.assembler import Program
+from repro.xs1.behavioral import BehavioralThread
+from repro.xs1.core import XCore
+from repro.xs1.errors import ResourceError
+from repro.xs1.thread import HardwareThread, IsaThread
+
+
+@dataclass
+class MapJob:
+    """A parallel-map collective in flight."""
+
+    expected: int
+    completed: int = 0
+    handles: list["TaskHandle"] = None
+    results: dict = None
+
+    def __post_init__(self) -> None:
+        self.handles = []
+        self.results = {}
+
+    @property
+    def done(self) -> bool:
+        """All items evaluated."""
+        return self.completed == self.expected
+
+    def ordered_results(self) -> list:
+        """Results in submission order (job must be done)."""
+        if not self.done:
+            raise RuntimeError(
+                f"map job incomplete: {self.completed}/{self.expected}"
+            )
+        return [self.results[i] for i in range(self.expected)]
+
+
+@dataclass
+class TaskHandle:
+    """A submitted task."""
+
+    task_id: int
+    core: XCore
+    thread: HardwareThread | None = None
+    start_time_ps: int | None = None
+
+    @property
+    def started(self) -> bool:
+        """True once the task occupies a hardware thread."""
+        return self.thread is not None
+
+    @property
+    def done(self) -> bool:
+        """True when the task has run to completion."""
+        return self.thread is not None and self.thread.halted
+
+
+class NanoOS:
+    """Central task placement over a Swallow machine."""
+
+    def __init__(self, system: SwallowSystem, bridge: EthernetBridge | None = None):
+        self.system = system
+        self.bridge = bridge
+        self._next_task_id = 0
+        self.tasks: list[TaskHandle] = []
+        self._upload_busy_until_ps = 0
+
+    # -- placement ---------------------------------------------------------------
+
+    def _load(self, core: XCore) -> int:
+        return core.live_threads + sum(
+            1 for t in self.tasks if t.core is core and not t.started
+        )
+
+    def pick_core(self, pin: XCore | None = None) -> XCore:
+        """Least-loaded placement (stable tie-break on node id)."""
+        if pin is not None:
+            if self._load(pin) >= pin.config.max_threads:
+                raise ResourceError(f"{pin.name}: no free hardware thread")
+            return pin
+        candidates = sorted(
+            self.system.cores, key=lambda c: (self._load(c), c.node_id)
+        )
+        best = candidates[0]
+        if self._load(best) >= best.config.max_threads:
+            raise ResourceError("no free hardware thread anywhere in the machine")
+        return best
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(
+        self,
+        task_factory: Callable[[XCore], Generator],
+        pin: XCore | None = None,
+        name: str | None = None,
+    ) -> TaskHandle:
+        """Submit a behavioural task; ``task_factory(core)`` builds its body.
+
+        With a bridge attached, the task starts only after its (nominal
+        1 KiB) code upload crosses the Ethernet at 80 Mbit/s.
+        """
+        core = self.pick_core(pin)
+        handle = TaskHandle(task_id=self._next_task_id, core=core)
+        self._next_task_id += 1
+        self.tasks.append(handle)
+
+        def start() -> None:
+            handle.thread = BehavioralThread(
+                core, task_factory(core), name=name or f"nos.t{handle.task_id}"
+            )
+            handle.start_time_ps = self.system.sim.now
+
+        self.system.sim.schedule_at(self._upload_slot(code_bits=8 * 1024), start)
+        return handle
+
+    def submit_program(
+        self,
+        program: Program,
+        entry: str | int = "start",
+        pin: XCore | None = None,
+        regs: dict[str, int] | None = None,
+    ) -> TaskHandle:
+        """Submit an assembled program; upload time scales with its size."""
+        core = self.pick_core(pin)
+        handle = TaskHandle(task_id=self._next_task_id, core=core)
+        self._next_task_id += 1
+        self.tasks.append(handle)
+        code_bits = 32 * len(program.instructions) + 8 * sum(
+            len(block) for _, block in program.data_blocks
+        )
+
+        def start() -> None:
+            handle.thread = core.spawn(program, entry=entry, regs=regs)
+            handle.start_time_ps = self.system.sim.now
+
+        self.system.sim.schedule_at(self._upload_slot(code_bits), start)
+        return handle
+
+    def _upload_slot(self, code_bits: int) -> int:
+        """Reserve the bridge for one upload; uploads serialise at 80 Mbit/s."""
+        now = self.system.sim.now
+        if self.bridge is None:
+            return now
+        duration_ps = round(self.bridge.transfer_time_s(code_bits) * 1e12)
+        start = max(now, self._upload_busy_until_ps)
+        self._upload_busy_until_ps = start + duration_ps
+        return self._upload_busy_until_ps
+
+    # -- collectives -----------------------------------------------------------------
+
+    def map(
+        self,
+        function: Callable,
+        items: list,
+        cost_per_item: int = 100,
+    ) -> "MapJob":
+        """Parallel map: one task per item, least-loaded placement.
+
+        ``function`` is evaluated on the simulated core after
+        ``cost_per_item`` instructions of modelled work, so the job has
+        realistic timing and energy.  Results land in submission order in
+        :attr:`MapJob.results` once the simulation has run.
+        """
+        job = MapJob(expected=len(items))
+
+        def make_task(index, item):
+            def factory(core):
+                def body():
+                    from repro.xs1.behavioral import Compute
+
+                    yield Compute(cost_per_item)
+                    job.results[index] = function(item)
+                    job.completed += 1
+                return body()
+            return factory
+
+        for index, item in enumerate(items):
+            handle = self.submit(make_task(index, item), name=f"map.{index}")
+            job.handles.append(handle)
+        return job
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def all_done(self) -> bool:
+        """True when every submitted task has completed."""
+        return all(task.done for task in self.tasks)
+
+    def placement_histogram(self) -> dict[int, int]:
+        """node id -> number of tasks placed there."""
+        histogram: dict[int, int] = {}
+        for task in self.tasks:
+            histogram[task.core.node_id] = histogram.get(task.core.node_id, 0) + 1
+        return histogram

@@ -1,0 +1,127 @@
+"""`SwallowSystem` — the paper's platform as one object.
+
+Builds the machine (topology + cores + power rails + measurement
+boards), optionally attaches Ethernet bridges, and exposes the
+operations a Swallow user has: open channels, spawn programs or
+behavioural tasks, run, scale frequency, and read energy — the
+"energy transparency" loop.
+"""
+
+from __future__ import annotations
+
+from repro.apps.channels import AppChannel
+from repro.board.assembly import MachineAssembly, build_machine
+from repro.core.transparency import EnergyReport, build_report
+from repro.network.ethernet import EthernetBridge
+from repro.sim import Frequency, Simulator, us
+from repro.xs1.assembler import Program
+from repro.xs1.behavioral import BehavioralThread
+from repro.xs1.core import XCore
+from repro.xs1.thread import IsaThread
+
+
+class SwallowSystem:
+    """A complete, runnable Swallow machine."""
+
+    def __init__(
+        self,
+        slices_x: int = 1,
+        slices_y: int = 1,
+        frequency: Frequency | None = None,
+        sim: Simulator | None = None,
+        ethernet_columns: tuple[int, ...] = (),
+        **machine_kwargs,
+    ):
+        self.sim = sim or Simulator()
+        self.machine: MachineAssembly = build_machine(
+            self.sim, slices_x=slices_x, slices_y=slices_y,
+            frequency=frequency, **machine_kwargs,
+        )
+        self.bridges = [
+            EthernetBridge.attach(self.machine.topology, column=column)
+            for column in ethernet_columns
+        ]
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def cores(self) -> list[XCore]:
+        """Every core, slice by slice."""
+        return self.machine.cores
+
+    @property
+    def topology(self):
+        """The unwoven-lattice topology."""
+        return self.machine.topology
+
+    @property
+    def accounting(self):
+        """The machine-wide energy ledger."""
+        return self.machine.accounting
+
+    @property
+    def num_cores(self) -> int:
+        """Total cores in the machine."""
+        return len(self.machine.cores)
+
+    def core(self, index: int) -> XCore:
+        """Core by position (slice-major order)."""
+        return self.machine.cores[index]
+
+    def measurement_board(self, sx: int = 0, sy: int = 0):
+        """A slice's five-channel ADC board (§II)."""
+        return self.machine.slice_board(sx, sy).measurement
+
+    # -- programming ---------------------------------------------------------------
+
+    def channel(self, core_a: XCore, core_b: XCore) -> AppChannel:
+        """Open a channel between two cores."""
+        return AppChannel.between(core_a, core_b)
+
+    def spawn(self, core: XCore, program: Program, **kwargs) -> IsaThread:
+        """Start an assembled program on a hardware thread of ``core``."""
+        return core.spawn(program, **kwargs)
+
+    def spawn_task(self, core: XCore, generator, name: str | None = None) -> BehavioralThread:
+        """Start a behavioural task on ``core``."""
+        return BehavioralThread(core, generator, name=name)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run the simulation until idle (all threads blocked or halted)."""
+        return self.sim.run(max_events=max_events)
+
+    def run_for_us(self, microseconds: float) -> int:
+        """Run for a fixed span of simulated time."""
+        return self.sim.run_for(us(microseconds))
+
+    def set_frequency(self, frequency: Frequency, cores: list[XCore] | None = None) -> None:
+        """Frequency-scale some or all cores (paper §III.B)."""
+        for core in cores if cores is not None else self.cores:
+            core.set_frequency(frequency)
+
+    @property
+    def all_halted(self) -> bool:
+        """True when every spawned thread on every core has finished."""
+        return all(core.all_halted for core in self.cores)
+
+    # -- transparency -----------------------------------------------------------------
+
+    def energy_report(self) -> EnergyReport:
+        """Snapshot of where the energy went (the headline feature)."""
+        return build_report(self)
+
+    def measured_gips(self) -> float:
+        """Aggregate instruction throughput achieved so far, in GIPS."""
+        if self.sim.now == 0:
+            return 0.0
+        total = sum(core.stats.total_instructions for core in self.cores)
+        return total / (self.sim.now / 1e12) / 1e9
+
+    def __repr__(self) -> str:
+        return (
+            f"<SwallowSystem {self.machine.topology.slices_x}x"
+            f"{self.machine.topology.slices_y} slices, {self.num_cores} cores, "
+            f"{len(self.bridges)} bridge(s)>"
+        )

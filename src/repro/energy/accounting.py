@@ -1,0 +1,140 @@
+"""Simulation-time energy accounting — the "energy transparency" engine.
+
+Integrates the Eq. 1 power model over each core's actual pipeline
+utilisation, adds Table I energy for every bit the network moved, and
+(optionally) the per-node support power of Fig. 2.  The measurement
+subsystem (:mod:`repro.energy.measurement`) samples these accumulators
+the way the real daughter-board samples shunt resistors, closing the
+paper's loop of "a program that can measure its own power consumption
+and adapt to the results".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.link_energy import traffic_energy_joules
+from repro.energy.power_model import NodeBreakdown, core_power_mw
+from repro.network.fabric import SwallowFabric
+from repro.sim import PS_PER_S, Simulator
+from repro.xs1.core import XCore
+
+#: Per-node support power (DC-DC conversion + I/O + other, Fig. 2), mW.
+SUPPORT_MW_PER_NODE = NodeBreakdown().dcdc_and_io + NodeBreakdown().other
+
+
+class CoreEnergyTracker:
+    """Windowed integration of one core's power."""
+
+    def __init__(self, core: XCore, sim: Simulator):
+        self.core = core
+        self.sim = sim
+        self._last_time = sim.now
+        self._last_cycle = core.cycle
+        self._last_slots = core.stats.slots_issued
+        self.energy_j = 0.0
+        self.last_window_power_mw = core_power_mw(core.frequency.megahertz, 0.0)
+        core.frequency_listeners.append(lambda _core: self.update())
+
+    def update(self) -> None:
+        """Close the integration window at the current simulation time."""
+        now = self.sim.now
+        dt_ps = now - self._last_time
+        if dt_ps <= 0:
+            return
+        cycles = self.core.cycle - self._last_cycle
+        slots = self.core.stats.slots_issued - self._last_slots
+        utilization = min(1.0, slots / cycles) if cycles > 0 else 0.0
+        power_mw = core_power_mw(self.core.frequency.megahertz, utilization)
+        # Full-DVFS extension: P scales with V^2 (paper §III.B, Fig. 4).
+        power_mw *= getattr(self.core, "voltage", 1.0) ** 2
+        self.energy_j += power_mw * 1e-3 * (dt_ps / PS_PER_S)
+        self.last_window_power_mw = power_mw
+        self._last_time = now
+        self._last_cycle = self.core.cycle
+        self._last_slots = self.core.stats.slots_issued
+
+
+class EnergyAccounting:
+    """System-wide energy ledger: cores + network + support."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: list[XCore],
+        fabric: SwallowFabric | None = None,
+        include_support: bool = True,
+    ):
+        self.sim = sim
+        self.trackers = {core.node_id: CoreEnergyTracker(core, sim) for core in cores}
+        self.fabric = fabric
+        self.include_support = include_support
+        self._start_time = sim.now
+        self._last_link_bits: dict[str, float] = {}
+        self.link_energy_j = 0.0
+
+    def add_core(self, core: XCore) -> None:
+        """Track an additional core from now on."""
+        if core.node_id not in self.trackers:
+            self.trackers[core.node_id] = CoreEnergyTracker(core, self.sim)
+
+    def update(self) -> None:
+        """Bring every accumulator up to the current simulation time."""
+        for tracker in self.trackers.values():
+            tracker.update()
+        if self.fabric is not None:
+            bits_now = {
+                name: stats["bits"]
+                for name, stats in self.fabric.link_stats_by_class().items()
+            }
+            delta = {
+                name: bits - self._last_link_bits.get(name, 0.0)
+                for name, bits in bits_now.items()
+            }
+            self.link_energy_j += traffic_energy_joules(delta)
+            self._last_link_bits = bits_now
+
+    # -- queries ---------------------------------------------------------------
+
+    def core_energy_j(self, node_id: int) -> float:
+        """Accumulated energy of one core (update first)."""
+        self.update()
+        return self.trackers[node_id].energy_j
+
+    def core_power_mw(self, node_id: int) -> float:
+        """Power of one core over its most recent window."""
+        self.update()
+        return self.trackers[node_id].last_window_power_mw
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock span of the ledger, in seconds."""
+        return (self.sim.now - self._start_time) / PS_PER_S
+
+    def support_energy_j(self) -> float:
+        """Per-node support energy (DC-DC + I/O + other) so far."""
+        if not self.include_support:
+            return 0.0
+        return SUPPORT_MW_PER_NODE * 1e-3 * self.elapsed_s * len(self.trackers)
+
+    def total_energy_j(self) -> float:
+        """Everything: cores + links + support."""
+        self.update()
+        cores = sum(t.energy_j for t in self.trackers.values())
+        return cores + self.link_energy_j + self.support_energy_j()
+
+    def breakdown_j(self) -> dict[str, float]:
+        """Energy by category."""
+        self.update()
+        return {
+            "cores": sum(t.energy_j for t in self.trackers.values()),
+            "links": self.link_energy_j,
+            "support": self.support_energy_j(),
+        }
+
+    def mean_power_mw(self) -> float:
+        """Average total power since construction."""
+        elapsed = self.elapsed_s
+        if elapsed == 0:
+            return 0.0
+        return self.total_energy_j() / elapsed * 1e3

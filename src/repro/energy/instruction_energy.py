@@ -1,0 +1,89 @@
+"""Instruction-level energy model (paper §II, following Kerrison & Eder).
+
+The paper reports that on the XS1-L "instructions cause core energy
+consumption of in the range of 1.0–2.25 [nJ] at 400 MHz and 1 V, including
+static power and dependent upon the operations they perform", i.e.
+"31–70 [pJ] per bit operated upon" for 32-bit data.  (The published units —
+μJ and nJ — are off by 1000×: they would imply a 100 W+ core.  The values
+are only self-consistent as nJ/instruction and pJ/bit, which also match
+Eq. 1: a single 100 MIPS thread drawing 100–225 mW costs 1.0–2.25 nJ per
+instruction *including amortised static power*.)
+
+Per-class energies below span exactly that 1.0–2.25 nJ range, with the
+cheap/expensive ordering of the Kerrison profiling work (ref. [4]):
+ALU < branch < load/store < multiply < divide, communication mid-range.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.xs1.isa import EnergyClass
+
+#: Default per-instruction energies (nJ) at 400 MHz, 1 V, single thread,
+#: static power amortised in (the paper's measurement condition).
+DEFAULT_ENERGY_NJ: dict[EnergyClass, float] = {
+    EnergyClass.NOP: 1.00,
+    EnergyClass.ALU: 1.20,
+    EnergyClass.BRANCH: 1.30,
+    EnergyClass.RESOURCE: 1.35,
+    EnergyClass.COMM: 1.50,
+    EnergyClass.MEM_LOAD: 1.70,
+    EnergyClass.MEM_STORE: 1.65,
+    EnergyClass.MUL: 2.00,
+    EnergyClass.DIV: 2.25,
+}
+
+#: Bits a 32-bit instruction operates on (for the paper's per-bit figure).
+WORD_BITS = 32
+
+
+@dataclass
+class InstructionEnergyModel:
+    """Per-class instruction energy accounting."""
+
+    energy_nj: dict[EnergyClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_ENERGY_NJ)
+    )
+
+    def __post_init__(self) -> None:
+        missing = set(EnergyClass) - set(self.energy_nj)
+        if missing:
+            raise ValueError(f"energy table missing classes: {missing}")
+        for cls, value in self.energy_nj.items():
+            if value <= 0:
+                raise ValueError(f"non-positive energy for {cls}: {value}")
+
+    def energy_of(self, energy_class: EnergyClass) -> float:
+        """Energy of one instruction of ``energy_class``, in nJ."""
+        return self.energy_nj[energy_class]
+
+    def energy_per_bit_pj(self, energy_class: EnergyClass) -> float:
+        """The paper's per-bit framing: nJ/instruction over 32 bits -> pJ/bit."""
+        return self.energy_of(energy_class) * 1000.0 / WORD_BITS
+
+    def total_nj(self, instructions: Counter) -> float:
+        """Total energy (nJ) of an instruction-class histogram."""
+        return sum(
+            self.energy_nj[cls] * count for cls, count in instructions.items()
+        )
+
+    def mean_nj(self, instructions: Counter) -> float:
+        """Mean per-instruction energy (nJ) of a histogram."""
+        total_count = sum(instructions.values())
+        if total_count == 0:
+            return 0.0
+        return self.total_nj(instructions) / total_count
+
+    @property
+    def range_nj(self) -> tuple[float, float]:
+        """(min, max) per-instruction energy — the paper's 1.0–2.25 nJ."""
+        values = self.energy_nj.values()
+        return min(values), max(values)
+
+    @property
+    def range_per_bit_pj(self) -> tuple[float, float]:
+        """(min, max) per-bit energy — the paper's 31–70 pJ/bit."""
+        low, high = self.range_nj
+        return low * 1000.0 / WORD_BITS, high * 1000.0 / WORD_BITS

@@ -1,0 +1,71 @@
+"""Link energy (paper Table I) and communication/computation comparison.
+
+Table I derives energy-per-bit as maximum link power over data rate for
+each link class; the same arithmetic lives on
+:class:`repro.network.params.LinkSpec`, so this module mostly assembles
+the table and converts traffic statistics into joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.params import TABLE_I_LINKS, LinkSpec
+
+
+@dataclass(frozen=True)
+class TableIRow:
+    """One row of Table I."""
+
+    link_type: str
+    data_rate_mbit: float
+    max_power_mw: float
+    energy_per_bit_pj: float
+
+
+#: Paper values for cross-checking (link class name -> pJ/bit).
+PAPER_TABLE_I_PJ_PER_BIT = {
+    "on-chip": 5.6,
+    "on-board-vertical": 212.8,
+    "on-board-horizontal": 201.6,
+    "off-board-ffc": 10880.0,
+}
+
+
+def table_i() -> list[TableIRow]:
+    """Reproduce Table I from the link specifications."""
+    return [
+        TableIRow(
+            link_type=spec.name,
+            data_rate_mbit=spec.operating_bitrate / 1e6,
+            max_power_mw=spec.max_power_mw,
+            energy_per_bit_pj=spec.energy_per_bit_pj,
+        )
+        for spec in TABLE_I_LINKS
+    ]
+
+
+def link_energy_joules(bits: float, spec: LinkSpec) -> float:
+    """Energy to move ``bits`` over one link of class ``spec``."""
+    if bits < 0:
+        raise ValueError(f"bit count must be non-negative, got {bits}")
+    return bits * spec.energy_per_bit_pj * 1e-12
+
+
+def traffic_energy_joules(bits_by_class: dict[str, float]) -> float:
+    """Energy of aggregate traffic given bits per link-class name."""
+    by_name = {spec.name: spec for spec in TABLE_I_LINKS}
+    total = 0.0
+    for name, bits in bits_by_class.items():
+        spec = by_name.get(name)
+        if spec is None:
+            raise ValueError(f"unknown link class {name!r}")
+        total += link_energy_joules(bits, spec)
+    return total
+
+
+def offboard_onboard_ratio() -> float:
+    """The paper's "factor of 50" energy rise going off-board."""
+    onboard = PAPER_TABLE_I_PJ_PER_BIT["on-board-vertical"]
+    offboard = PAPER_TABLE_I_PJ_PER_BIT["off-board-ffc"]
+    return offboard / onboard

@@ -1,0 +1,121 @@
+"""Core and node power models (paper Eq. 1, Fig. 2, Fig. 3).
+
+The paper measures, for an XS1-L core at 1 V:
+
+* loaded (four active threads):  ``Pc = (46 + 0.30 f) mW``  (Eq. 1),
+  ranging 65 mW @71 MHz to 193 mW @500 MHz;
+* idle (zero active threads): 50 mW @71 MHz to 113 mW @500 MHz, also
+  linear; we fit the line through those two anchor points.
+
+Between idle and fully loaded we interpolate linearly in pipeline
+utilisation (fraction of issue slots used), which is the natural load
+metric of a time-deterministic core.
+
+Fig. 2 decomposes the ~260 mW per-node *system* power (which adds DC-DC
+conversion loss, I/O and support logic to the core) into five components;
+:func:`node_power_breakdown` reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Eq. 1 constants (per core, 1 V, heavy load).
+STATIC_MW = 46.0
+DYNAMIC_MW_PER_MHZ = 0.30
+
+#: Idle anchor points (frequency MHz -> power mW) from §III.B.
+IDLE_ANCHORS = ((71.0, 50.0), (500.0, 113.0))
+
+#: Frequency range of the paper's scaling experiments.
+F_MIN_MHZ = 71.0
+F_MAX_MHZ = 500.0
+
+
+def active_power_mw(f_mhz: float) -> float:
+    """Eq. 1: per-core power under heavy load at 1 V, in mW."""
+    _check_frequency(f_mhz)
+    return STATIC_MW + DYNAMIC_MW_PER_MHZ * f_mhz
+
+
+def idle_power_mw(f_mhz: float) -> float:
+    """Per-core power with zero active threads at 1 V, in mW.
+
+    Linear through the paper's anchor points (71 MHz, 50 mW) and
+    (500 MHz, 113 mW).
+    """
+    _check_frequency(f_mhz)
+    (f0, p0), (f1, p1) = IDLE_ANCHORS
+    slope = (p1 - p0) / (f1 - f0)
+    return p0 + slope * (f_mhz - f0)
+
+
+def core_power_mw(f_mhz: float, utilization: float) -> float:
+    """Per-core power at pipeline utilisation ``utilization`` in [0, 1]."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization {utilization} outside [0, 1]")
+    idle = idle_power_mw(f_mhz)
+    return idle + (active_power_mw(f_mhz) - idle) * utilization
+
+
+def _check_frequency(f_mhz: float) -> None:
+    if f_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {f_mhz} MHz")
+
+
+@dataclass(frozen=True)
+class NodeBreakdown:
+    """Fig. 2's decomposition of one node's ~260 mW system power (mW)."""
+
+    computation_and_memory: float = 78.0
+    static: float = 68.0
+    network_interface: float = 58.0
+    dcdc_and_io: float = 46.0
+    other: float = 10.0
+
+    @property
+    def total_mw(self) -> float:
+        """Total node power (the paper's 260 mW figure)."""
+        return (
+            self.computation_and_memory
+            + self.static
+            + self.network_interface
+            + self.dcdc_and_io
+            + self.other
+        )
+
+    def shares(self) -> dict[str, float]:
+        """Component -> fraction of total (Fig. 2's percentages)."""
+        total = self.total_mw
+        return {
+            "computation_and_memory": self.computation_and_memory / total,
+            "static": self.static / total,
+            "network_interface": self.network_interface / total,
+            "dcdc_and_io": self.dcdc_and_io / total,
+            "other": self.other / total,
+        }
+
+
+def node_power_breakdown() -> NodeBreakdown:
+    """The Fig. 2 node power decomposition at 500 MHz under load."""
+    return NodeBreakdown()
+
+
+def scaled_breakdown(f_mhz: float, utilization: float = 1.0) -> NodeBreakdown:
+    """Fig. 2's breakdown re-scaled to another operating point.
+
+    Core-derived components (computation, static, network interface)
+    scale with the core power model; DC-DC/I-O and 'other' are treated as
+    frequency-independent support power.
+    """
+    reference = NodeBreakdown()
+    core_ref = active_power_mw(F_MAX_MHZ)
+    core_now = core_power_mw(f_mhz, utilization)
+    ratio = core_now / core_ref
+    return NodeBreakdown(
+        computation_and_memory=reference.computation_and_memory * ratio,
+        static=reference.static * ratio,
+        network_interface=reference.network_interface * ratio,
+        dcdc_and_io=reference.dcdc_and_io,
+        other=reference.other,
+    )

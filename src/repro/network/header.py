@@ -1,0 +1,66 @@
+"""Route headers and global channel-end addressing.
+
+A channel end is globally addressed by (node id, channel-end index).  In
+register form this follows the XS1 resource-identifier layout::
+
+    bits 31..16   node identifier
+    bits 15..8    channel-end index on that node
+    bits  7..0    resource type (2 = channel end)
+
+A route is opened by a three-token header carrying the 16-bit destination
+node id and the 8-bit channel-end index (paper §V.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.token import HEADER_TOKENS, Token
+
+#: Resource-type code for channel ends in the id encoding.
+CHANEND_TYPE = 0x02
+
+
+@dataclass(frozen=True, order=True)
+class ChanendAddress:
+    """Global address of a channel end: (node, index)."""
+
+    node: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.node <= 0xFFFF:
+            raise ValueError(f"node id {self.node} outside 16 bits")
+        if not 0 <= self.index <= 0xFF:
+            raise ValueError(f"chanend index {self.index} outside 8 bits")
+
+    def encode(self) -> int:
+        """The 32-bit resource-identifier form (for ``setd``)."""
+        return (self.node << 16) | (self.index << 8) | CHANEND_TYPE
+
+    @classmethod
+    def decode(cls, resource_id: int) -> "ChanendAddress":
+        """Parse a 32-bit resource identifier."""
+        if resource_id & 0xFF != CHANEND_TYPE:
+            raise ValueError(
+                f"resource id {resource_id:#010x} is not a channel end"
+            )
+        return cls(node=(resource_id >> 16) & 0xFFFF, index=(resource_id >> 8) & 0xFF)
+
+    def header_tokens(self) -> list[Token]:
+        """The three route-opening header tokens (node hi, node lo, index)."""
+        return [
+            Token((self.node >> 8) & 0xFF),
+            Token(self.node & 0xFF),
+            Token(self.index),
+        ]
+
+    @classmethod
+    def from_header(cls, tokens: list[Token]) -> "ChanendAddress":
+        """Reassemble an address from three header tokens."""
+        if len(tokens) != HEADER_TOKENS:
+            raise ValueError(f"need {HEADER_TOKENS} header tokens, got {len(tokens)}")
+        return cls(node=(tokens[0].value << 8) | tokens[1].value, index=tokens[2].value)
+
+    def __str__(self) -> str:
+        return f"n{self.node}:c{self.index}"

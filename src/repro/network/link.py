@@ -1,0 +1,191 @@
+"""Physical link model.
+
+A Swallow link is five wires per direction carrying 8-bit tokens as four
+2-bit symbols.  Here each direction is a :class:`HalfLink` that serializes
+one token at a time (the class's token time) into the input buffer of the
+far switch, under credit-based flow control: a token may only be launched
+while the far buffer has space, so backpressure propagates hop by hop —
+"Switches use wormhole routing with credit-based flow control" (§V.B).
+
+A half-link is also the unit of *route allocation*: wormhole routing holds
+a link from the route-opening header until the closing END control token
+(or forever, for circuit-switched channels).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.network.params import SWITCH_BUFFER_TOKENS, LinkSpec
+from repro.network.token import TOKEN_BITS, Token
+from repro.sim import Simulator
+
+if TYPE_CHECKING:
+    from repro.network.switch import InputPort
+
+
+class HalfLink:
+    """One direction of a physical link: serializer + credits + allocation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: LinkSpec,
+        name: str,
+        use_operating_rate: bool = False,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.token_time_ps = spec.token_time_ps(use_operating_rate)
+        self.sink: "InputPort | None" = None
+        self.credits = SWITCH_BUFFER_TOKENS
+        self.busy = False
+        self.holder: "InputPort | None" = None
+        self.failed = False
+        self.tokens_carried = 0
+        self.bits_carried = 0
+        self.busy_time_ps = 0
+
+    # -- route allocation ---------------------------------------------------
+
+    @property
+    def free(self) -> bool:
+        """True when no route currently holds this link (and it works)."""
+        return self.holder is None and not self.failed
+
+    def fail(self) -> None:
+        """Mark the link failed (edge-connector yield, §IV-B).
+
+        Only idle links may fail in this model — fail before injecting
+        traffic that would use it; re-route with table routing
+        (:meth:`repro.network.fabric.SwallowFabric.use_table_routing`).
+        """
+        if self.holder is not None or self.busy:
+            raise RuntimeError(f"{self.name}: cannot fail a link in use")
+        self.failed = True
+
+    def seize(self, port: "InputPort") -> None:
+        """Allocate the link to a route (caller checked :attr:`free`)."""
+        assert self.holder is None, f"{self.name} already held"
+        self.holder = port
+
+    def release(self, port: "InputPort") -> None:
+        """Release the link at route close."""
+        assert self.holder is port, f"{self.name} released by non-holder"
+        self.holder = None
+
+    # -- token transfer -----------------------------------------------------
+
+    def can_send(self) -> bool:
+        """True when a token can be launched right now."""
+        return not self.busy and self.credits > 0
+
+    def send(self, token: Token, on_done: Callable[[], None] | None = None) -> None:
+        """Launch one token; it arrives after the serialization time."""
+        assert self.can_send(), f"{self.name}: send while busy or out of credit"
+        assert self.sink is not None, f"{self.name}: unwired link"
+        self.busy = True
+        self.credits -= 1
+        self.tokens_carried += 1
+        self.bits_carried += TOKEN_BITS
+        self.busy_time_ps += self.token_time_ps
+        self.sim.schedule(self.token_time_ps, lambda: self._delivered(token, on_done))
+
+    def _delivered(self, token: Token, on_done: Callable[[], None] | None) -> None:
+        self.busy = False
+        self.sink.accept(token)
+        if on_done is not None:
+            on_done()
+        if self.holder is not None:
+            self.holder.pump()
+
+    def return_credit(self) -> None:
+        """The far buffer freed a slot; the holder may continue."""
+        self.credits += 1
+        if self.holder is not None:
+            self.holder.pump()
+
+    def utilization(self, elapsed_ps: int) -> float:
+        """Fraction of ``elapsed_ps`` this link spent serializing tokens."""
+        if elapsed_ps <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_ps / elapsed_ps)
+
+    def __repr__(self) -> str:
+        return f"<HalfLink {self.name} {self.spec.name} {'busy' if self.busy else 'idle'}>"
+
+
+class DirectionGroup:
+    """All half-links leaving a switch in one direction.
+
+    Models the paper's link aggregation: "Multiple links can be assigned
+    to the same routing direction, where a new communication will use the
+    next unused link" (§V.B).  Routes that find every link held queue FIFO
+    and are granted links as routes close.
+
+    **Escape-lane reservation.**  Aggregated groups (the four in-package
+    links) dedicate their last link — and hence that link's input buffer —
+    to *exit* layer crossings: the final hop of a multi-hop route, which
+    only ever waits on local delivery and therefore always drains.
+    Transit ("entry") crossings and single-hop in-package messages
+    ("direct") share the other three links and never touch the escape
+    link, so no transit credit cycle can close through it.  This breaks
+    the wormhole deadlock that otherwise wedges bisection-stressing
+    traffic, and matches the paper's own provision: "Provided no more
+    than three links are used for channel switching, packeted data can
+    still flow through the network" (§V.B).  Single-link groups ignore
+    lanes.
+    """
+
+    LANES = ("exit", "entry", "direct", "any")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.links: list[HalfLink] = []
+        self.waiters: dict[str, deque["InputPort"]] = {
+            lane: deque() for lane in self.LANES
+        }
+
+    def add(self, link: HalfLink) -> None:
+        """Register an outgoing half-link in this direction."""
+        self.links.append(link)
+
+    def _lane_links(self, lane: str) -> list[HalfLink]:
+        if lane not in self.LANES:
+            raise ValueError(f"unknown lane {lane!r}")
+        if len(self.links) < 2 or lane == "any":
+            return self.links
+        if lane == "exit":
+            return self.links[-1:]     # the dedicated escape link
+        return self.links[:-1]         # entry/direct: the other links
+
+    def try_allocate(self, port: "InputPort", lane: str = "any") -> HalfLink | None:
+        """Grant the next unused link of ``lane``, or queue the port."""
+        for link in self._lane_links(lane):
+            if link.free:
+                link.seize(port)
+                return link
+        if port not in self.waiters[lane]:
+            self.waiters[lane].append(port)
+        return None
+
+    def release(self, link: HalfLink, port: "InputPort") -> None:
+        """Close a route; hand the link to the oldest eligible waiter."""
+        link.release(port)
+        for lane in self.LANES:
+            if link in self._lane_links(lane) and self.waiters[lane]:
+                next_port = self.waiters[lane].popleft()
+                link.seize(next_port)
+                next_port.granted_link(link)
+                return
+
+    @property
+    def all_waiters(self) -> list["InputPort"]:
+        """Every queued port, across lanes."""
+        return [port for lane in self.LANES for port in self.waiters[lane]]
+
+    def __repr__(self) -> str:
+        held = sum(1 for link in self.links if not link.free)
+        return f"<DirectionGroup {self.name} {held}/{len(self.links)} held>"

@@ -1,0 +1,123 @@
+"""Network parameters: link classes, speeds, energies and timing constants.
+
+Sources in the paper:
+
+* Table I — per-link-class data rate, maximum link power, energy per bit.
+* §V.C  — five-wire protocol: 8-bit tokens of 2-bit symbols; token transmit
+  time 3·Ts + Tt (+1 symbol slot in our interpretation, giving exactly
+  8 cycles for Ts=2, Tt=1 and hence 500 Mbit/s at 500 MHz); internal links
+  500 Mbit/s max, external 125 Mbit/s max.
+* Fig. 6 — four internal links per package (2 Gbit/s aggregate),
+  four external links (N/S/E/W).
+* §V.A  — "Data words can be transferred from the core to the network
+  hardware with just three cycles of latency (6 ns)".
+
+Table I's data-rate column is the *measured operating point* (half the
+§V.C maxima — links are clocked down "to preserve signal integrity" on
+longer traces); both figures are kept here and which one a simulation
+uses is a :class:`LinkSpec` choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import PS_PER_S
+from repro.network.token import TOKEN_BITS
+
+#: Cycles from a core register to its switch (paper: 3 cycles = 6 ns).
+INJECTION_LATENCY_CYCLES = 3
+
+#: Tokens moved per core cycle between switch and a local chanend.
+LOCAL_DELIVERY_CYCLES_PER_TOKEN = 1
+
+#: Input-buffer depth (tokens) of each switch port; also the credit window.
+SWITCH_BUFFER_TOKENS = 8
+
+#: Wire transitions needed per byte by the link protocol (paper §II:
+#: "requires only four wire transitions per byte of data").
+TRANSITIONS_PER_BYTE = 4
+
+
+def symbol_timing_cycles(ts: int, tt: int) -> int:
+    """Token transmit time in link-clock cycles for inter-symbol delay
+    ``ts`` and inter-token delay ``tt``.
+
+    The paper quotes 3·Ts + Tt and says Ts=2, Tt=1 yields 500 Mbit/s at
+    500 MHz; that requires 8 cycles per 8-bit token, so we count the
+    first symbol's slot explicitly: 3·Ts + Tt + 1.
+    """
+    if ts < 1 or tt < 0:
+        raise ValueError(f"invalid symbol timing Ts={ts}, Tt={tt}")
+    return 3 * ts + tt + 1
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static properties of one link class."""
+
+    name: str
+    #: Maximum raw bit rate (§V.C / Fig. 6).
+    max_bitrate: int
+    #: Operating bit rate at which Table I was measured.
+    operating_bitrate: int
+    #: Maximum link power at the operating point, in mW (Table I).
+    max_power_mw: float
+
+    @property
+    def energy_per_bit_pj(self) -> float:
+        """Energy per bit at the operating point (Table I derivation)."""
+        # mW / (bit/s) = mJ/bit; * 1e9 -> pJ/bit
+        return self.max_power_mw / self.operating_bitrate * 1e9
+
+    def token_time_ps(self, use_operating_rate: bool = False) -> int:
+        """Serialization time of one 8-bit token, in picoseconds."""
+        rate = self.operating_bitrate if use_operating_rate else self.max_bitrate
+        return round(TOKEN_BITS * PS_PER_S / rate)
+
+
+#: In-package links between the two cores of an XS1-L2A (four of them).
+LINK_ON_CHIP = LinkSpec(
+    name="on-chip",
+    max_bitrate=500_000_000,
+    operating_bitrate=250_000_000,
+    max_power_mw=1.4,
+)
+
+#: Package-to-package links running vertically on a slice PCB.
+LINK_BOARD_VERTICAL = LinkSpec(
+    name="on-board-vertical",
+    max_bitrate=125_000_000,
+    operating_bitrate=62_500_000,
+    max_power_mw=13.3,
+)
+
+#: Package-to-package links running horizontally on a slice PCB.
+LINK_BOARD_HORIZONTAL = LinkSpec(
+    name="on-board-horizontal",
+    max_bitrate=125_000_000,
+    operating_bitrate=62_500_000,
+    max_power_mw=12.6,
+)
+
+#: Slice-to-slice links over 30 cm flexible flat cable.
+LINK_OFFBOARD_FFC = LinkSpec(
+    name="off-board-ffc",
+    max_bitrate=125_000_000,
+    operating_bitrate=62_500_000,
+    max_power_mw=680.0,
+)
+
+#: All link classes of Table I, in table order.
+TABLE_I_LINKS = (
+    LINK_ON_CHIP,
+    LINK_BOARD_VERTICAL,
+    LINK_BOARD_HORIZONTAL,
+    LINK_OFFBOARD_FFC,
+)
+
+#: Number of parallel links between the two cores of a package (Fig. 6).
+INTERNAL_LINKS_PER_PACKAGE = 4
+
+#: External links per package: one per compass direction (Fig. 6).
+EXTERNAL_LINKS_PER_PACKAGE = 4

@@ -1,0 +1,317 @@
+"""Per-node switch with wormhole routing.
+
+Every XS1-L core has one switch (paper §IV-D).  A switch owns:
+
+* one :class:`InputPort` per incoming half-link (buffered, credit-backed);
+* one :class:`ChanendPort` per local channel end that transmits (tokens are
+  pulled straight from the chanend's transmit buffer, with the paper's
+  three-cycle core-to-network injection latency);
+* a :class:`~repro.network.link.DirectionGroup` per outgoing direction.
+
+A route opens when a port sees a three-token header: the destination is
+decoded, the next hop chosen by the routing policy, and an output link
+seized (or queued for).  The header is forwarded hop by hop and consumed
+at the destination switch, which delivers payload tokens into the target
+chanend's receive buffer.  The END control token closes the route at each
+hop as it passes; without it the route stays open — a circuit (§V.B).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.network.header import ChanendAddress
+from repro.network.link import DirectionGroup, HalfLink
+from repro.network.params import (
+    INJECTION_LATENCY_CYCLES,
+    LOCAL_DELIVERY_CYCLES_PER_TOKEN,
+    SWITCH_BUFFER_TOKENS,
+)
+from repro.network.routing import Direction, NodeCoord, RoutingError
+from repro.network.token import HEADER_TOKENS, Token
+from repro.sim import Frequency, Simulator
+
+if TYPE_CHECKING:
+    from repro.network.fabric import SwallowFabric
+    from repro.xs1.chanend import Chanend
+
+
+class RouteState:
+    """An open route through one port."""
+
+    __slots__ = ("dest", "direction", "link", "local_target", "header_to_send")
+
+    def __init__(
+        self,
+        dest: ChanendAddress,
+        direction: Direction,
+        link: HalfLink | None,
+        local_target: "Chanend | None",
+        header_to_send: list[Token],
+    ):
+        self.dest = dest
+        self.direction = direction
+        self.link = link
+        self.local_target = local_target
+        self.header_to_send = header_to_send
+
+
+class InputPort:
+    """A buffered token source feeding the switch's routing engine."""
+
+    def __init__(self, switch: "Switch", name: str, upstream: HalfLink | None = None):
+        self.switch = switch
+        self.name = name
+        self.upstream = upstream
+        self.buffer: deque[Token] = deque()
+        self.capacity = SWITCH_BUFFER_TOKENS
+        self.route: RouteState | None = None
+        self._header: list[Token] = []
+        self._pump_pending = False
+        self.routes_opened = 0
+
+    # -- token intake --------------------------------------------------------
+
+    def accept(self, token: Token) -> None:
+        """A token arrived from the upstream link."""
+        assert len(self.buffer) < self.capacity, f"{self.name}: buffer overrun"
+        self.buffer.append(token)
+        self.pump()
+
+    # -- token source abstraction (overridden by ChanendPort) ----------------
+
+    def _peek(self) -> Token | None:
+        return self.buffer[0] if self.buffer else None
+
+    def _consume(self) -> Token:
+        token = self.buffer.popleft()
+        if self.upstream is not None:
+            self.upstream.return_credit()
+        return token
+
+    def _open_route_header(self) -> list[Token] | None:
+        """Collect the 3-token header from the stream; None until complete."""
+        while len(self._header) < HEADER_TOKENS:
+            token = self._peek()
+            if token is None:
+                return None
+            if token.is_control:
+                raise RoutingError(f"{self.name}: control token {token} in header")
+            self._header.append(self._consume())
+        header, self._header = self._header, []
+        return header
+
+    # -- routing engine --------------------------------------------------------
+
+    def pump(self) -> None:
+        """Schedule the forwarding engine (coalesced within one event)."""
+        if self._pump_pending:
+            return
+        self._pump_pending = True
+        self.switch.sim.schedule(0, self._run)
+
+    def granted_link(self, link: HalfLink) -> None:
+        """A queued allocation was granted by a closing route."""
+        if self.route is not None and self.route.link is None:
+            self.route.link = link
+        self.pump()
+
+    def _run(self) -> None:
+        self._pump_pending = False
+        if self.route is None and not self._try_open_route():
+            return
+        route = self.route
+        if route is None:
+            return
+        if route.local_target is not None:
+            self._deliver_local(route)
+        elif route.link is not None:
+            self._forward(route)
+        # else: waiting for link allocation; granted_link() will resume us.
+
+    def _try_open_route(self) -> bool:
+        header = self._open_route_header()
+        if header is None:
+            return False
+        dest = ChanendAddress.from_header(header)
+        switch = self.switch
+        self.routes_opened += 1
+        if dest.node == switch.node_id:
+            target = switch.fabric.local_chanend(dest)
+            self.route = RouteState(dest, Direction.LOCAL, None, target, [])
+            return True
+        direction = switch.route_policy(dest.node)
+        group = switch.groups.get(direction)
+        if group is None or not group.links:
+            raise RoutingError(
+                f"{switch.name}: no {direction.value} links toward node {dest.node}"
+            )
+        link = group.try_allocate(self, lane=self._crossing_lane(direction, dest))
+        self.route = RouteState(dest, direction, link, None, list(header))
+        return True
+
+    def _crossing_lane(self, direction: Direction, dest: ChanendAddress) -> str:
+        """Allocation lane for a new route (see DirectionGroup lanes).
+
+        Internal (layer-crossing) hops are classed as *exit* (the final
+        hop of a multi-hop route arriving at the destination package —
+        routed over the dedicated escape link), *direct* (a single-hop
+        in-package message injected by a local chanend — aggregated over
+        the other three links, the paper's channel-switching set), or
+        *entry* (a transit crossing mid-route, also kept off the escape
+        link).  Compass directions use the whole group.
+        """
+        if direction is not Direction.INTERNAL:
+            return "any"
+        switch = self.switch
+        dest_coord = switch.fabric.coords.get(dest.node)
+        arriving = (
+            dest_coord is not None
+            and (dest_coord.x, dest_coord.y) == (switch.coord.x, switch.coord.y)
+        )
+        if not arriving:
+            return "entry"
+        return "direct" if isinstance(self, ChanendPort) else "exit"
+
+    def _forward(self, route: RouteState) -> None:
+        link = route.link
+        assert link is not None
+        if not link.can_send():
+            return  # resumed by the link's delivery/credit callbacks
+        if route.header_to_send:
+            link.send(route.header_to_send.pop(0))
+            return
+        token = self._peek()
+        if token is None:
+            return  # more payload may arrive later
+        self._consume()
+        link.send(token)
+        if token.is_end:
+            self._close_route(route)
+
+    def _deliver_local(self, route: RouteState) -> None:
+        target = route.local_target
+        assert target is not None
+        token = self._peek()
+        if token is None:
+            return
+        if not target.deliver(token):
+            self.switch.fabric.block_on_rx(target, self)
+            return
+        self._consume()
+        self.switch.tokens_delivered += 1
+        if token.is_end:
+            self._close_route(route)
+        elif not self._pump_pending:
+            # Core-interface pacing: one token per core cycle.
+            self._pump_pending = True
+            delay = self.switch.frequency.cycles_to_ps(LOCAL_DELIVERY_CYCLES_PER_TOKEN)
+            self.switch.sim.schedule(delay, self._run)
+
+    def _close_route(self, route: RouteState) -> None:
+        if route.link is not None:
+            self.switch.groups[route.direction].release(route.link, self)
+        self.route = None
+        self.switch.routes_closed += 1
+        self.pump()  # a following message may already be buffered
+
+    def __repr__(self) -> str:
+        return f"<InputPort {self.name} buf={len(self.buffer)} route={self.route is not None}>"
+
+
+class ChanendPort(InputPort):
+    """Switch-side port of a transmitting local channel end.
+
+    Pulls tokens straight from the chanend's transmit buffer and
+    synthesizes the route-opening header from the chanend's destination
+    (hardware does this on the first token of a new message).
+    """
+
+    def __init__(self, switch: "Switch", chanend: "Chanend"):
+        super().__init__(switch, f"{switch.name}.c{chanend.index}", upstream=None)
+        self.chanend = chanend
+
+    def notify_tx(self) -> None:
+        """The chanend queued tokens; start pumping after injection latency."""
+        if self._pump_pending:
+            return
+        self._pump_pending = True
+        delay = self.switch.frequency.cycles_to_ps(INJECTION_LATENCY_CYCLES)
+        self.switch.sim.schedule(delay, self._run)
+
+    def _peek(self) -> Token | None:
+        return self.chanend.peek_tx()
+
+    def _consume(self) -> Token:
+        return self.chanend.pull_tx()
+
+    def _open_route_header(self) -> list[Token] | None:
+        if self.chanend.peek_tx() is None:
+            return None
+        dest = self.chanend.dest
+        if dest is None:
+            raise RoutingError(f"{self.name}: transmit without destination (setd)")
+        return dest.header_tokens()
+
+
+class Switch:
+    """One node's switch: ports, direction groups, and a routing policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        coord: NodeCoord,
+        fabric: "SwallowFabric",
+        frequency: Frequency,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.coord = coord
+        self.fabric = fabric
+        self.frequency = frequency
+        self.name = f"sw{node_id}"
+        self.groups: dict[Direction, DirectionGroup] = {}
+        self.link_ports: list[InputPort] = []
+        self.chanend_ports: dict[int, ChanendPort] = {}
+        self.routes_closed = 0
+        self.tokens_delivered = 0
+
+    def route_policy(self, dest_node: int) -> Direction:
+        """Next-hop direction toward ``dest_node`` (set by the fabric)."""
+        return self.fabric.next_direction(self.node_id, dest_node)
+
+    def group(self, direction: Direction) -> DirectionGroup:
+        """The direction group, created on first use."""
+        if direction not in self.groups:
+            self.groups[direction] = DirectionGroup(f"{self.name}.{direction.value}")
+        return self.groups[direction]
+
+    def add_outgoing(self, direction: Direction, link: HalfLink) -> None:
+        """Wire an outgoing half-link in ``direction``."""
+        self.group(direction).add(link)
+
+    def add_incoming(self, link: HalfLink) -> InputPort:
+        """Create the input port for an incoming half-link."""
+        port = InputPort(self, f"{self.name}.in{len(self.link_ports)}", upstream=link)
+        link.sink = port
+        self.link_ports.append(port)
+        return port
+
+    def chanend_port(self, chanend: "Chanend") -> ChanendPort:
+        """The transmit port for a local chanend, created on first use."""
+        port = self.chanend_ports.get(chanend.index)
+        if port is None:
+            port = ChanendPort(self, chanend)
+            self.chanend_ports[chanend.index] = port
+        return port
+
+    @property
+    def routes_open(self) -> int:
+        """Routes currently held open through this switch."""
+        ports: list[InputPort] = [*self.link_ports, *self.chanend_ports.values()]
+        return sum(1 for port in ports if port.route is not None)
+
+    def __repr__(self) -> str:
+        return f"<Switch {self.name} at {self.coord}>"

@@ -1,0 +1,79 @@
+"""Network tokens.
+
+The XS1 interconnect moves 8-bit *tokens*: ordinary data tokens, and
+control tokens that manage routes and synchronisation (the paper's §V.B:
+"Routes are opened with a three byte header ... held open until the source
+channel emits a closing control token").
+
+On the wire a token is four 2-bit symbols on a five-wire link; the link
+model (:mod:`repro.network.link`) handles that timing, so here a token is
+just its value plus a control flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Control-token codes (mirrors :mod:`repro.xs1.isa`).
+CT_END = 0x01
+CT_PAUSE = 0x02
+CT_ACK = 0x03
+CT_NACK = 0x04
+
+#: Bits per token on the wire.
+TOKEN_BITS = 8
+
+#: Tokens needed to carry one 32-bit word.
+TOKENS_PER_WORD = 4
+
+#: Route-opening header length in tokens (paper §V.B: "three byte header").
+HEADER_TOKENS = 3
+
+
+@dataclass(frozen=True)
+class Token:
+    """One 8-bit network token."""
+
+    value: int
+    is_control: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFF:
+            raise ValueError(f"token value {self.value:#x} outside 8 bits")
+
+    @property
+    def is_end(self) -> bool:
+        """True for the END control token that closes a route."""
+        return self.is_control and self.value == CT_END
+
+    def __str__(self) -> str:
+        kind = "CT" if self.is_control else "DT"
+        return f"{kind}:{self.value:02x}"
+
+
+def data_token(value: int) -> Token:
+    """Build a data token from the low 8 bits of ``value``."""
+    return Token(value & 0xFF)
+
+
+def control_token(code: int) -> Token:
+    """Build a control token."""
+    return Token(code, is_control=True)
+
+
+def word_to_tokens(word: int) -> list[Token]:
+    """Split a 32-bit word into four data tokens, most-significant first."""
+    word &= 0xFFFF_FFFF
+    return [Token((word >> shift) & 0xFF) for shift in (24, 16, 8, 0)]
+
+
+def tokens_to_word(tokens: list[Token]) -> int:
+    """Reassemble four data tokens (MSB first) into a 32-bit word."""
+    if len(tokens) != TOKENS_PER_WORD:
+        raise ValueError(f"need {TOKENS_PER_WORD} tokens, got {len(tokens)}")
+    word = 0
+    for token in tokens:
+        if token.is_control:
+            raise ValueError("control token inside word data")
+        word = (word << 8) | token.value
+    return word

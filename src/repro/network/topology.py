@@ -1,0 +1,215 @@
+"""Topology builders: packages, slices, and multi-slice grids.
+
+Physical structure (paper §IV-B, §V-A, Figs. 5–7):
+
+* an XS1-L2A **package** holds two nodes joined by four on-chip links;
+  one node's external links run north/south (VERTICAL layer), the
+  other's east/west (HORIZONTAL layer);
+* a **slice** is sixteen cores = eight packages on one PCB.  We arrange
+  them four packages wide by two tall.  Package-to-package links on the
+  PCB use the on-board link classes of Table I.  Twelve external link
+  ports leave the board (N/S on each column, E/W on each row); the paper
+  counts "ten off-board network links" with "up to two Ethernet modules
+  per slice (on the South external links)", i.e. two of the twelve are
+  reserved for Ethernet bridges — we reproduce that accounting;
+* a **grid** of slices connects neighbouring boards with 30 cm FFC
+  ribbon cables (the expensive 10 880 pJ/bit class of Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.network.fabric import RoutePolicy, SwallowFabric
+from repro.network.params import (
+    INTERNAL_LINKS_PER_PACKAGE,
+    LINK_BOARD_HORIZONTAL,
+    LINK_BOARD_VERTICAL,
+    LINK_OFFBOARD_FFC,
+    LINK_ON_CHIP,
+)
+from repro.network.routing import Direction, Layer, NodeCoord, next_direction
+from repro.sim import Frequency, Simulator
+
+#: Packages across one slice (east-west).
+SLICE_PACKAGES_X = 4
+#: Packages down one slice (north-south).
+SLICE_PACKAGES_Y = 2
+#: Cores (= nodes) per slice.
+CORES_PER_SLICE = 2 * SLICE_PACKAGES_X * SLICE_PACKAGES_Y
+#: External link ports on a slice's board edge.
+SLICE_EDGE_PORTS = 2 * SLICE_PACKAGES_X + 2 * SLICE_PACKAGES_Y
+#: South-edge ports reserved for Ethernet bridges (paper §V.E).
+SLICE_ETHERNET_PORTS = 2
+#: Off-board network links per slice as counted by the paper.
+SLICE_OFFBOARD_LINKS = SLICE_EDGE_PORTS - SLICE_ETHERNET_PORTS
+
+
+@dataclass(frozen=True)
+class PackageRef:
+    """One XS1-L2A package at lattice position (x, y)."""
+
+    x: int
+    y: int
+    vertical_node: int
+    horizontal_node: int
+
+
+class SwallowTopology:
+    """A grid of Swallow slices wired as an unwoven lattice."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        slices_x: int = 1,
+        slices_y: int = 1,
+        policy: RoutePolicy = next_direction,
+        frequency: Frequency | None = None,
+        use_operating_rate: bool = False,
+    ):
+        if slices_x < 1 or slices_y < 1:
+            raise ValueError("need at least one slice in each dimension")
+        self.sim = sim
+        self.slices_x = slices_x
+        self.slices_y = slices_y
+        self.packages_x = SLICE_PACKAGES_X * slices_x
+        self.packages_y = SLICE_PACKAGES_Y * slices_y
+        self.fabric = SwallowFabric(
+            sim, policy=policy, frequency=frequency,
+            use_operating_rate=use_operating_rate,
+        )
+        self.packages: dict[tuple[int, int], PackageRef] = {}
+        self._node_by_coord: dict[NodeCoord, int] = {}
+        self._build_nodes()
+        self._build_links()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_nodes(self) -> None:
+        next_id = 0
+        for y in range(self.packages_y):
+            for x in range(self.packages_x):
+                v_node, h_node = next_id, next_id + 1
+                next_id += 2
+                v_coord = NodeCoord(x, y, Layer.VERTICAL)
+                h_coord = NodeCoord(x, y, Layer.HORIZONTAL)
+                self.fabric.add_node(v_node, v_coord)
+                self.fabric.add_node(h_node, h_coord)
+                self._node_by_coord[v_coord] = v_node
+                self._node_by_coord[h_coord] = h_node
+                self.packages[(x, y)] = PackageRef(x, y, v_node, h_node)
+
+    def _build_links(self) -> None:
+        for (x, y), package in self.packages.items():
+            # Four on-chip links joining the two layers of the package.
+            self.fabric.connect(
+                package.vertical_node, Direction.INTERNAL,
+                package.horizontal_node, Direction.INTERNAL,
+                LINK_ON_CHIP, count=INTERNAL_LINKS_PER_PACKAGE,
+            )
+            # Southward neighbour: vertical-layer chain.
+            south = self.packages.get((x, y + 1))
+            if south is not None:
+                spec = (
+                    LINK_BOARD_VERTICAL
+                    if (y + 1) % SLICE_PACKAGES_Y != 0
+                    else LINK_OFFBOARD_FFC
+                )
+                self.fabric.connect(
+                    package.vertical_node, Direction.SOUTH,
+                    south.vertical_node, Direction.NORTH,
+                    spec,
+                )
+            # Eastward neighbour: horizontal-layer chain.
+            east = self.packages.get((x + 1, y))
+            if east is not None:
+                spec = (
+                    LINK_BOARD_HORIZONTAL
+                    if (x + 1) % SLICE_PACKAGES_X != 0
+                    else LINK_OFFBOARD_FFC
+                )
+                self.fabric.connect(
+                    package.horizontal_node, Direction.EAST,
+                    east.horizontal_node, Direction.WEST,
+                    spec,
+                )
+
+    # -- lookup -----------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total cores (= nodes) in the system."""
+        return 2 * len(self.packages)
+
+    @property
+    def num_slices(self) -> int:
+        """Total slices in the grid."""
+        return self.slices_x * self.slices_y
+
+    def node_at(self, x: int, y: int, layer: Layer) -> int:
+        """Node id at lattice position (x, y, layer)."""
+        return self._node_by_coord[NodeCoord(x, y, layer)]
+
+    def coord_of(self, node_id: int) -> NodeCoord:
+        """Lattice position of ``node_id``."""
+        return self.fabric.coords[node_id]
+
+    def node_ids(self) -> list[int]:
+        """All *core* node ids, ascending (attached bridges excluded)."""
+        return sorted(self._node_by_coord.values())
+
+    def slice_of(self, node_id: int) -> tuple[int, int]:
+        """Which slice (sx, sy) a node belongs to."""
+        coord = self.coord_of(node_id)
+        return coord.x // SLICE_PACKAGES_X, coord.y // SLICE_PACKAGES_Y
+
+    def nodes_in_slice(self, sx: int, sy: int) -> list[int]:
+        """Node ids of one slice."""
+        return [n for n in self.node_ids() if self.slice_of(n) == (sx, sy)]
+
+    # -- analysis -----------------------------------------------------------------
+
+    def graph(self) -> nx.MultiGraph:
+        """The link graph (nodes = cores, parallel edges kept) with
+        per-edge ``spec`` (link class) and ``bitrate`` attributes."""
+        graph = nx.MultiGraph()
+        for node_id, coord in self.fabric.coords.items():
+            graph.add_node(node_id, coord=coord)
+        for (x, y), package in self.packages.items():
+            graph.add_edges_from(
+                [(package.vertical_node, package.horizontal_node)]
+                * INTERNAL_LINKS_PER_PACKAGE,
+                spec=LINK_ON_CHIP,
+                bitrate=LINK_ON_CHIP.max_bitrate,
+            )
+            south = self.packages.get((x, y + 1))
+            if south is not None:
+                spec = (
+                    LINK_BOARD_VERTICAL
+                    if (y + 1) % SLICE_PACKAGES_Y != 0
+                    else LINK_OFFBOARD_FFC
+                )
+                graph.add_edge(
+                    package.vertical_node, south.vertical_node,
+                    spec=spec, bitrate=spec.max_bitrate,
+                )
+            east = self.packages.get((x + 1, y))
+            if east is not None:
+                spec = (
+                    LINK_BOARD_HORIZONTAL
+                    if (x + 1) % SLICE_PACKAGES_X != 0
+                    else LINK_OFFBOARD_FFC
+                )
+                graph.add_edge(
+                    package.horizontal_node, east.horizontal_node,
+                    spec=spec, bitrate=spec.max_bitrate,
+                )
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"<SwallowTopology {self.slices_x}x{self.slices_y} slices, "
+            f"{self.num_nodes} cores>"
+        )

@@ -1,0 +1,166 @@
+"""Synthetic traffic generators for network characterisation.
+
+The paper evaluates Swallow's interconnect with targeted measurements;
+for broader exploration (and the load/latency ablations) this module
+provides the standard NoC patterns — uniform random, bit-complement,
+hotspot, nearest-neighbour — as deterministic, seeded behavioural
+workloads over a :class:`~repro.network.topology.SwallowTopology`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.network.token import CT_END
+from repro.network.topology import SwallowTopology
+
+if TYPE_CHECKING:
+    from repro.xs1.core import XCore
+
+
+@dataclass
+class TrafficStats:
+    """Delivery record of one traffic run."""
+
+    sent: int = 0
+    received: int = 0
+    latencies_ps: list[int] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """All injected packets arrived."""
+        return self.received == self.sent and self.sent > 0
+
+    @property
+    def mean_latency_ps(self) -> float:
+        """Mean packet latency."""
+        if not self.latencies_ps:
+            return 0.0
+        return sum(self.latencies_ps) / len(self.latencies_ps)
+
+    @property
+    def p99_latency_ps(self) -> float:
+        """99th-percentile packet latency."""
+        if not self.latencies_ps:
+            return 0.0
+        ordered = sorted(self.latencies_ps)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def uniform_random_pairs(node_ids: list[int], count: int, seed: int) -> list[tuple[int, int]]:
+    """``count`` (src, dst) pairs drawn uniformly (src != dst)."""
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(count):
+        src = rng.choice(node_ids)
+        dst = rng.choice([n for n in node_ids if n != src])
+        pairs.append((src, dst))
+    return pairs
+
+
+def bit_complement_pairs(topology: SwallowTopology) -> list[tuple[int, int]]:
+    """Each node sends to its coordinate complement (a bisection-stressing
+    classic)."""
+    pairs = []
+    max_x = topology.packages_x - 1
+    max_y = topology.packages_y - 1
+    for node in topology.node_ids():
+        coord = topology.coord_of(node)
+        dst = topology.node_at(max_x - coord.x, max_y - coord.y, coord.layer)
+        if dst != node:
+            pairs.append((node, dst))
+    return pairs
+
+
+def hotspot_pairs(node_ids: list[int], hotspot: int, count: int, seed: int) -> list[tuple[int, int]]:
+    """All packets converge on one node."""
+    rng = random.Random(seed)
+    sources = [n for n in node_ids if n != hotspot]
+    return [(rng.choice(sources), hotspot) for _ in range(count)]
+
+
+def neighbour_pairs(topology: SwallowTopology) -> list[tuple[int, int]]:
+    """Each vertical-layer node sends to its package sibling."""
+    pairs = []
+    for package in topology.packages.values():
+        pairs.append((package.vertical_node, package.horizontal_node))
+    return pairs
+
+
+class TrafficRun:
+    """Executes a set of (src, dst) packet flows and gathers statistics.
+
+    Each pair becomes one channel carrying ``packets`` single-word
+    packets with an inter-packet compute gap, all under packet mode so
+    flows interleave on shared links.
+    """
+
+    def __init__(
+        self,
+        topology: SwallowTopology,
+        pairs: list[tuple[int, int]],
+        packets: int = 4,
+        gap_instructions: int = 10,
+    ):
+        if not pairs:
+            raise ValueError("need at least one traffic pair")
+        self.topology = topology
+        self.sim = topology.sim
+        self.pairs = pairs
+        self.packets = packets
+        self.gap_instructions = gap_instructions
+        self.stats = TrafficStats()
+        self._cores: dict[int, "XCore"] = {}
+
+    def _core(self, node_id: int) -> "XCore":
+        # Imported here (not at module scope) to break the
+        # network <-> xs1 import cycle.
+        from repro.xs1.core import XCore
+
+        if node_id not in self._cores:
+            self._cores[node_id] = XCore(self.sim, node_id, self.topology.fabric)
+        return self._cores[node_id]
+
+    def start(self) -> "TrafficRun":
+        """Spawn all flows; call ``sim.run()`` afterwards."""
+        for flow, (src, dst) in enumerate(self.pairs):
+            tx = self._core(src).allocate_chanend()
+            rx = self._core(dst).allocate_chanend()
+            tx.set_dest(rx.address)
+            self._spawn_flow(flow, src, dst, tx, rx)
+        return self
+
+    def _spawn_flow(self, flow: int, src: int, dst: int, tx, rx) -> None:
+        from repro.xs1.behavioral import (
+            BehavioralThread,
+            CheckCt,
+            Compute,
+            RecvWord,
+            SendCt,
+            SendWord,
+        )
+
+        sim = self.sim
+        stats = self.stats
+        departures: list[int] = []
+
+        def sender():
+            for _ in range(self.packets):
+                if self.gap_instructions:
+                    yield Compute(self.gap_instructions)
+                departures.append(sim.now)
+                stats.sent += 1
+                yield SendWord(tx, flow & 0xFFFF)
+                yield SendCt(tx, CT_END)
+
+        def receiver():
+            for index in range(self.packets):
+                yield RecvWord(rx)
+                yield CheckCt(rx, CT_END)
+                stats.received += 1
+                stats.latencies_ps.append(sim.now - departures[index])
+
+        BehavioralThread(self._core(src), sender(), name=f"traffic.s{flow}")
+        BehavioralThread(self._core(dst), receiver(), name=f"traffic.r{flow}")

@@ -1,0 +1,79 @@
+"""ASCII rendering of Swallow topologies (Fig. 7 in text form).
+
+Each package prints as ``[ vv/hh ]`` — the vertical-layer node id over
+the horizontal-layer node id — with ``|`` for vertical-layer links,
+``-`` for horizontal-layer links, ``=`` for off-board FFC cables, and
+``x`` marking failed links.
+"""
+
+from __future__ import annotations
+
+from repro.network.params import LINK_OFFBOARD_FFC
+from repro.network.topology import SLICE_PACKAGES_X, SLICE_PACKAGES_Y, SwallowTopology
+
+_CELL = 9
+
+
+def _link_state(topology: SwallowTopology, node_a: int, node_b: int) -> str:
+    """'ok', 'failed', or 'ffc' for the first link pair between two nodes."""
+    for record in topology.fabric.link_records:
+        if {record.node_a, record.node_b} == {node_a, node_b}:
+            if not record.healthy:
+                return "failed"
+            if record.forward.spec is LINK_OFFBOARD_FFC:
+                return "ffc"
+            return "ok"
+    return "none"
+
+
+def render_topology(topology: SwallowTopology) -> str:
+    """A text drawing of the package grid, links, and slice boundaries."""
+    lines: list[str] = []
+    for y in range(topology.packages_y):
+        row_cells = []
+        for x in range(topology.packages_x):
+            package = topology.packages[(x, y)]
+            cell = f"[{package.vertical_node:>3}/{package.horizontal_node:<3}]"
+            row_cells.append(cell)
+            east = topology.packages.get((x + 1, y))
+            if east is not None:
+                state = _link_state(
+                    topology, package.horizontal_node, east.horizontal_node
+                )
+                joint = {"ok": "-", "ffc": "=", "failed": "x", "none": " "}[state]
+                row_cells.append(joint * 2)
+        lines.append("".join(row_cells))
+        if y + 1 < topology.packages_y:
+            bars = []
+            for x in range(topology.packages_x):
+                package = topology.packages[(x, y)]
+                south = topology.packages[(x, y + 1)]
+                state = _link_state(
+                    topology, package.vertical_node, south.vertical_node
+                )
+                bar = {"ok": "|", "ffc": "‖", "failed": "x", "none": " "}[state]
+                bars.append(f"  {bar}".ljust(_CELL + 2))
+            lines.append("".join(bars).rstrip())
+    legend = (
+        "[ v/h ] = package (vertical/horizontal node)   "
+        "| - on-board   ‖ = FFC cable   x failed"
+    )
+    return "\n".join(lines + ["", legend])
+
+
+def render_summary(topology: SwallowTopology) -> str:
+    """One-paragraph structural summary."""
+    stats: dict[str, int] = {}
+    failed = 0
+    for record in topology.fabric.link_records:
+        stats[record.forward.spec.name] = stats.get(record.forward.spec.name, 0) + 1
+        if not record.healthy:
+            failed += 1
+    parts = [
+        f"{topology.slices_x}x{topology.slices_y} slices, "
+        f"{topology.num_nodes} cores, {len(topology.packages)} packages",
+        ", ".join(f"{count} {name}" for name, count in sorted(stats.items())),
+    ]
+    if failed:
+        parts.append(f"{failed} failed link pair(s)")
+    return "; ".join(parts)

@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel used by every Swallow subsystem."""
+
+from repro.sim.engine import EventHandle, Process, SimulationError, Simulator
+from repro.sim.time import (
+    F_71MHZ,
+    F_500MHZ,
+    PS_PER_MS,
+    PS_PER_NS,
+    PS_PER_S,
+    PS_PER_US,
+    Frequency,
+    ms,
+    ns,
+    seconds,
+    to_ns,
+    to_seconds,
+    to_us,
+    us,
+)
+from repro.sim.tracing import NullTracer, TraceRecord, TraceRecorder
+
+__all__ = [
+    "EventHandle",
+    "F_500MHZ",
+    "F_71MHZ",
+    "Frequency",
+    "NullTracer",
+    "PS_PER_MS",
+    "PS_PER_NS",
+    "PS_PER_S",
+    "PS_PER_US",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "TraceRecord",
+    "TraceRecorder",
+    "ms",
+    "ns",
+    "seconds",
+    "to_ns",
+    "to_seconds",
+    "to_us",
+    "us",
+]

@@ -1,0 +1,203 @@
+"""Discrete-event simulation engine.
+
+A single global event queue ordered by (time, sequence number) drives every
+component of the simulated Swallow system: core pipelines, network links,
+switches and the energy-measurement ADC all schedule callbacks here.
+
+The sequence number makes event ordering total and deterministic: events
+scheduled earlier run earlier when timestamps tie, so a simulation is a
+pure function of its configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling or a wedged simulation."""
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _QueuedEvent):
+        self._event = event
+
+    @property
+    def time(self) -> int:
+        """Absolute firing time of the event, in picoseconds."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """The discrete-event kernel.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(ns(10), lambda: print("fired at", sim.now))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_QueuedEvent] = []
+        self._seq = 0
+        self._now = 0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay_ps: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay_ps`` picoseconds from now."""
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule in the past (delay {delay_ps} ps)")
+        return self.schedule_at(self._now + delay_ps, callback)
+
+    def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time_ps``."""
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps; simulation time is already {self._now} ps"
+            )
+        event = _QueuedEvent(time=time_ps, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the event queue drains (or ``max_events`` fire).
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("re-entrant call to Simulator.run()")
+        self._running = True
+        executed = 0
+        try:
+            while self.step():
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return executed
+
+    def run_until(self, time_ps: int) -> int:
+        """Run all events with timestamp <= ``time_ps``; advance time there.
+
+        Returns the number of events executed by this call.
+        """
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot run backwards to {time_ps} ps from {self._now} ps"
+            )
+        if self._running:
+            raise SimulationError("re-entrant call to Simulator.run_until()")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.time > time_ps:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        self._now = max(self._now, time_ps)
+        return executed
+
+    def run_for(self, duration_ps: int) -> int:
+        """Run for ``duration_ps`` picoseconds of simulated time."""
+        return self.run_until(self._now + duration_ps)
+
+
+class Process:
+    """A coroutine-style process on top of the event kernel.
+
+    The generator yields integer delays in picoseconds; the kernel resumes
+    it after each delay.  This gives components with sequential behaviour
+    (traffic generators, the measurement ADC, behavioural threads) a
+    straight-line coding style::
+
+        def body():
+            yield ns(100)      # wait 100 ns
+            do_something()
+            yield ns(50)
+
+        Process(sim, body())
+    """
+
+    def __init__(self, sim: Simulator, generator: Any, name: str = "process"):
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        sim.schedule(0, self._resume)
+
+    def _resume(self) -> None:
+        if self.finished:
+            return
+        try:
+            delay = next(self._generator)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = getattr(stop, "value", None)
+            return
+        if not isinstance(delay, int) or delay < 0:
+            raise SimulationError(
+                f"process {self.name!r} yielded invalid delay {delay!r}"
+            )
+        self._sim.schedule(delay, self._resume)

@@ -1,0 +1,115 @@
+"""Event tracing.
+
+Every observable action in the simulator (instruction issue, token on a
+link, route open/close, ADC sample) can be recorded as a trace record.
+Traces serve three purposes:
+
+* debugging and the worked examples;
+* the determinism invariant (identical configs => identical trace digests),
+  which stands in for the hardware's time-deterministic execution; and
+* post-hoc analysis (latency and bandwidth measurements in the benches).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time_ps: int
+    source: str
+    kind: str
+    detail: tuple[Any, ...] = ()
+
+    def __str__(self) -> str:
+        detail = " ".join(str(d) for d in self.detail)
+        return f"[{self.time_ps:>12} ps] {self.source:<24} {self.kind} {detail}".rstrip()
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects, optionally filtered by kind."""
+
+    def __init__(self, kinds: Iterable[str] | None = None, capacity: int | None = None):
+        self._kinds = set(kinds) if kinds is not None else None
+        self._capacity = capacity
+        self._records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, time_ps: int, source: str, kind: str, *detail: Any) -> None:
+        """Append a record (subject to the kind filter and capacity)."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            self.dropped += 1
+            return
+        self._records.append(TraceRecord(time_ps, source, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All collected records, in time order."""
+        return list(self._records)
+
+    def filter(
+        self,
+        kind: str | None = None,
+        source: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Records matching all the given criteria."""
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, kind: str, source: str | None = None) -> TraceRecord | None:
+        """The earliest record of ``kind`` (and optionally ``source``)."""
+        matches = self.filter(kind=kind, source=source)
+        return matches[0] if matches else None
+
+    def last(self, kind: str, source: str | None = None) -> TraceRecord | None:
+        """The latest record of ``kind`` (and optionally ``source``)."""
+        matches = self.filter(kind=kind, source=source)
+        return matches[-1] if matches else None
+
+    def digest(self) -> str:
+        """A stable hash of the full trace — the determinism fingerprint."""
+        hasher = hashlib.sha256()
+        for rec in self._records:
+            hasher.update(repr((rec.time_ps, rec.source, rec.kind, rec.detail)).encode())
+        return hasher.hexdigest()
+
+    def clear(self) -> None:
+        """Drop all records (capacity and filters are kept)."""
+        self._records.clear()
+        self.dropped = 0
+
+
+class NullTracer(TraceRecorder):
+    """A recorder that drops everything; the default when tracing is off."""
+
+    def __init__(self) -> None:
+        super().__init__(kinds=())
+
+    def record(self, time_ps: int, source: str, kind: str, *detail: Any) -> None:
+        """Discard the record."""
+        return

@@ -1,0 +1,250 @@
+"""Behavioural threads: Python coroutines with hardware-thread timing.
+
+Writing every workload in assembly does not scale, so the core also runs
+*behavioural* threads: Python generators that yield operation objects.
+Each operation consumes issue slots under exactly the same pipeline rules
+as real instructions (one slot per instruction, at most one issue per
+thread per four cycles, paused threads cost nothing), so Eq. 2 timing and
+the energy accounting hold for behavioural workloads too.
+
+Example::
+
+    def worker(chanend):
+        yield Compute(100)            # 100 instructions of work
+        word = yield RecvWord(chanend)
+        yield SendWord(chanend, word + 1)
+
+    BehavioralThread(core, worker(chanend))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.network.header import ChanendAddress
+from repro.network.token import (
+    TOKENS_PER_WORD,
+    control_token,
+    data_token,
+    tokens_to_word,
+    word_to_tokens,
+)
+from repro.xs1.errors import TrapError
+from repro.xs1.isa import EnergyClass
+from repro.xs1.thread import HardwareThread, StepOutcome
+
+if TYPE_CHECKING:
+    from repro.xs1.chanend import Chanend
+    from repro.xs1.core import XCore
+
+
+@dataclass
+class Compute:
+    """Occupy ``instructions`` issue slots of plain computation."""
+
+    instructions: int
+    energy_class: EnergyClass = EnergyClass.ALU
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise ValueError("instruction count must be non-negative")
+
+
+@dataclass
+class SendWord:
+    """Send a 32-bit word on a channel end (one ``out`` instruction)."""
+
+    chanend: "Chanend"
+    value: int
+
+
+@dataclass
+class RecvWord:
+    """Receive a 32-bit word; the word is the value of the ``yield``."""
+
+    chanend: "Chanend"
+
+
+@dataclass
+class SendToken:
+    """Send a single data token."""
+
+    chanend: "Chanend"
+    value: int
+
+
+@dataclass
+class RecvToken:
+    """Receive a single data token; the token value is the yield's value."""
+
+    chanend: "Chanend"
+
+
+@dataclass
+class SendCt:
+    """Send a control token (e.g. ``CT_END`` to close a route)."""
+
+    chanend: "Chanend"
+    code: int
+
+
+@dataclass
+class CheckCt:
+    """Consume an expected control token; traps on mismatch."""
+
+    chanend: "Chanend"
+    code: int
+
+
+@dataclass
+class SetDest:
+    """Set a channel end's destination (one ``setd`` instruction)."""
+
+    chanend: "Chanend"
+    dest: ChanendAddress
+
+
+@dataclass
+class Sleep:
+    """Pause the thread for ``cycles`` core cycles (timer wait)."""
+
+    cycles: int
+
+
+Operation = (
+    Compute | SendWord | RecvWord | SendToken | RecvToken | SendCt | CheckCt | SetDest | Sleep
+)
+
+
+class BehavioralThread(HardwareThread):
+    """A hardware thread driven by a Python generator of operations."""
+
+    def __init__(
+        self,
+        core: "XCore",
+        generator: Generator,
+        name: str | None = None,
+    ):
+        super().__init__(core, core.claim_tid(), name)
+        self._generator = generator
+        self._current: Operation | None = None
+        self._compute_left = 0
+        self._pending_result: object = None
+        core.add_thread(self)
+
+    # -- generator pump -----------------------------------------------------
+
+    def _fetch(self) -> bool:
+        """Advance the generator to its next operation.  False at exhaustion."""
+        try:
+            result, self._pending_result = self._pending_result, None
+            self._current = self._generator.send(result)
+        except StopIteration:
+            self._current = None
+            return False
+        if isinstance(self._current, Compute):
+            self._compute_left = self._current.instructions
+        return True
+
+    def _complete(self) -> None:
+        self._current = None
+
+    # -- one issue slot -----------------------------------------------------
+
+    def step(self) -> StepOutcome:
+        """Consume one issue slot on the current operation."""
+        if self._current is None:
+            if not self._fetch():
+                self.halt()
+                return StepOutcome.HALTED
+            if self._current is None:  # generator yielded None: free slot
+                return self._count(EnergyClass.NOP)
+        op = self._current
+        if isinstance(op, Compute):
+            if self._compute_left == 0:
+                self._complete()
+                return self.step()
+            self._compute_left -= 1
+            if self._compute_left == 0:
+                self._complete()
+            return self._count(op.energy_class)
+        if isinstance(op, SendWord):
+            return self._send_tokens(op.chanend, word_to_tokens(op.value))
+        if isinstance(op, SendToken):
+            return self._send_tokens(op.chanend, [data_token(op.value)])
+        if isinstance(op, SendCt):
+            return self._send_tokens(op.chanend, [control_token(op.code)])
+        if isinstance(op, RecvWord):
+            return self._recv_word(op.chanend)
+        if isinstance(op, RecvToken):
+            return self._recv_token(op.chanend)
+        if isinstance(op, CheckCt):
+            return self._check_ct(op.chanend, op.code)
+        if isinstance(op, SetDest):
+            op.chanend.set_dest(op.dest)
+            self._complete()
+            return self._count(EnergyClass.RESOURCE)
+        if isinstance(op, Sleep):
+            self._complete()
+            delay = self.core.frequency.cycles_to_ps(op.cycles)
+            self.core.sim.schedule(delay, self.resume)
+            self.pause("sleep")
+            return StepOutcome.PAUSED
+        raise TrapError(f"{self.name}: unknown behavioural operation {op!r}")
+
+    # -- operation implementations -------------------------------------------
+
+    def _count(self, energy_class: EnergyClass) -> StepOutcome:
+        self.instructions_executed += 1
+        self.core.count_instruction(energy_class)
+        return StepOutcome.ISSUED
+
+    def _send_tokens(self, chanend: "Chanend", tokens: list) -> StepOutcome:
+        if chanend.tx_space() < len(tokens):
+            chanend.wait_tx_space(self, len(tokens))
+            return StepOutcome.PAUSED
+        chanend.push_tx(tokens)
+        self._complete()
+        return self._count(EnergyClass.COMM)
+
+    def _recv_word(self, chanend: "Chanend") -> StepOutcome:
+        if chanend.rx_available() < TOKENS_PER_WORD:
+            chanend.wait_rx(self, TOKENS_PER_WORD)
+            return StepOutcome.PAUSED
+        tokens = []
+        for position in range(TOKENS_PER_WORD):
+            token = chanend.rx[position]
+            if token.is_control:
+                raise TrapError(f"{self.name}: control token {token} in word data")
+            tokens.append(token)
+        for _ in range(TOKENS_PER_WORD):
+            chanend.pop_rx()
+        self._pending_result = tokens_to_word(tokens)
+        self._complete()
+        return self._count(EnergyClass.COMM)
+
+    def _recv_token(self, chanend: "Chanend") -> StepOutcome:
+        if chanend.rx_available() < 1:
+            chanend.wait_rx(self, 1)
+            return StepOutcome.PAUSED
+        token = chanend.rx[0]
+        if token.is_control:
+            raise TrapError(f"{self.name}: unexpected control token {token}")
+        chanend.pop_rx()
+        self._pending_result = token.value
+        self._complete()
+        return self._count(EnergyClass.COMM)
+
+    def _check_ct(self, chanend: "Chanend", code: int) -> StepOutcome:
+        if chanend.rx_available() < 1:
+            chanend.wait_rx(self, 1)
+            return StepOutcome.PAUSED
+        token = chanend.rx[0]
+        if not token.is_control or token.value != code:
+            raise TrapError(
+                f"{self.name}: expected control token {code:#x}, found {token}"
+            )
+        chanend.pop_rx()
+        self._complete()
+        return self._count(EnergyClass.COMM)

@@ -1,0 +1,374 @@
+"""The XS1-L core model.
+
+A core owns 64 KiB of single-cycle SRAM, up to eight hardware threads, and
+a pool of channel-end/timer/lock resources.  Its scheduler reproduces the
+four-stage pipeline behaviour behind the paper's Eq. 2: in each clock
+cycle at most one thread issues, a given thread can issue at most once
+every four cycles, and paused threads consume no slots.  Consequently
+
+    IPS_thread = f / max(4, N_active)      IPS_core = f * min(4, N_active) / 4
+
+emerge from the mechanism rather than being asserted — the Eq. 2 bench
+measures them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.network.header import CHANEND_TYPE, ChanendAddress
+from repro.sim import Frequency, NullTracer, Simulator, TraceRecorder
+from repro.xs1.assembler import Program
+from repro.xs1.chanend import Chanend
+from repro.xs1.errors import ResourceError, TrapError
+from repro.xs1.fabric import Fabric
+from repro.xs1.isa import (
+    RES_TYPE_CHANEND,
+    RES_TYPE_LOCK,
+    RES_TYPE_TIMER,
+    EnergyClass,
+)
+from repro.xs1.memory import Sram
+from repro.xs1.resources import LockResource, TimerResource
+from repro.xs1.thread import HardwareThread, IsaThread, StepOutcome, ThreadState
+
+
+@dataclass
+class CoreConfig:
+    """Static configuration of one core."""
+
+    frequency: Frequency = field(default_factory=lambda: Frequency(500_000_000))
+    max_threads: int = 8
+    num_chanends: int = 32
+    num_timers: int = 10
+    num_locks: int = 4
+    sram_bytes: int = 64 * 1024
+
+
+@dataclass
+class CoreStats:
+    """Execution statistics used by the energy model and the benches."""
+
+    instructions: Counter = field(default_factory=Counter)
+    slots_issued: int = 0
+    slots_bubble: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        """Total completed instructions across all energy classes."""
+        return sum(self.instructions.values())
+
+
+class XCore:
+    """One XS1-L core: SRAM + threads + resources + issue scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        fabric: Fabric,
+        config: CoreConfig | None = None,
+        name: str | None = None,
+        tracer: TraceRecorder | None = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.fabric = fabric
+        self.config = config or CoreConfig()
+        self.name = name or f"core{node_id}"
+        self.tracer = tracer or NullTracer()
+        self.memory = Sram(self.config.sram_bytes)
+        self.threads: list[HardwareThread] = []
+        self._chanends = [Chanend(self, i) for i in range(self.config.num_chanends)]
+        self._timers = [TimerResource(i) for i in range(self.config.num_timers)]
+        self._locks = [LockResource(i) for i in range(self.config.num_locks)]
+        for chanend in self._chanends:
+            fabric.attach_chanend(chanend)
+        self.stats = CoreStats()
+        self._rotation: deque[HardwareThread] = deque()
+        self._ticking = False
+        self._frequency = self.config.frequency
+        self._voltage = 1.0
+        self._cycle_anchor = 0
+        self._anchor_time = sim.now
+        self._loaded_programs: set[int] = set()
+        self._next_tid = 0
+        self.on_halt_callbacks: list[Callable[[HardwareThread], None]] = []
+        self.frequency_listeners: list[Callable[["XCore"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clocking
+    # ------------------------------------------------------------------
+
+    @property
+    def frequency(self) -> Frequency:
+        """Current core clock."""
+        return self._frequency
+
+    def set_frequency(self, frequency: Frequency) -> None:
+        """Dynamic frequency scaling (paper §III.B); takes effect now.
+
+        Listeners in :attr:`frequency_listeners` (e.g. energy accounting)
+        are notified *before* the change so they can close their current
+        integration window at the old frequency.
+        """
+        for listener in self.frequency_listeners:
+            listener(self)
+        self._cycle_anchor = self.cycle
+        self._anchor_time = self.sim.now
+        self._frequency = frequency
+
+    @property
+    def voltage(self) -> float:
+        """Current supply voltage (1.0 V on original Swallow boards)."""
+        return self._voltage
+
+    def set_voltage(self, voltage: float) -> None:
+        """Voltage scaling — the full-DVFS extension of newer xCORE parts
+        (paper §III.B).  Power scales with V^2 in the energy model; the
+        caller is responsible for keeping V >= Vmin(f)
+        (:func:`repro.energy.dvfs.min_voltage`)."""
+        if voltage <= 0:
+            raise ValueError(f"voltage must be positive, got {voltage}")
+        for listener in self.frequency_listeners:
+            listener(self)
+        self._voltage = voltage
+
+    def set_dvfs_operating_point(self, frequency: Frequency, voltage: float) -> None:
+        """Atomically change frequency and voltage (one ledger window)."""
+        if voltage <= 0:
+            raise ValueError(f"voltage must be positive, got {voltage}")
+        self.set_frequency(frequency)
+        self._voltage = voltage
+
+    @property
+    def cycle(self) -> int:
+        """Core clock cycles elapsed since construction."""
+        elapsed = self.sim.now - self._anchor_time
+        return self._cycle_anchor + elapsed // self._frequency.period_ps
+
+    def _next_cycle_boundary(self) -> int:
+        """Absolute time of the next clock edge strictly after now."""
+        period = self._frequency.period_ps
+        elapsed = self.sim.now - self._anchor_time
+        return self._anchor_time + (elapsed // period + 1) * period
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+
+    @property
+    def active_threads(self) -> int:
+        """Number of currently runnable threads (the N of Eq. 2)."""
+        return sum(1 for t in self.threads if t.runnable)
+
+    @property
+    def live_threads(self) -> int:
+        """Threads that have not halted."""
+        return sum(1 for t in self.threads if not t.halted)
+
+    @property
+    def all_halted(self) -> bool:
+        """True when every spawned thread has finished."""
+        return all(t.halted for t in self.threads)
+
+    def load_program(self, program: Program) -> None:
+        """Copy a program's ``.data`` blocks into SRAM (once per program)."""
+        if id(program) in self._loaded_programs:
+            return
+        for address, data in program.data_blocks:
+            self.memory.write_block(address, data)
+        self._loaded_programs.add(id(program))
+
+    def spawn(
+        self,
+        program: Program,
+        entry: str | int = "start",
+        name: str | None = None,
+        regs: dict[str, int] | None = None,
+    ) -> IsaThread:
+        """Start a hardware thread running ``program`` from ``entry``."""
+        if self.live_threads >= self.config.max_threads:
+            raise ResourceError(
+                f"{self.name}: all {self.config.max_threads} hardware threads in use"
+            )
+        self.load_program(program)
+        pc = program.entry(entry) if isinstance(entry, str) else entry
+        thread = IsaThread(self, self._next_tid, program, entry=pc, name=name)
+        self._next_tid += 1
+        for reg_name, value in (regs or {}).items():
+            thread.regs.write_named(reg_name, value)
+        self.threads.append(thread)
+        self.on_thread_runnable(thread)
+        return thread
+
+    def add_thread(self, thread: HardwareThread) -> None:
+        """Attach an externally built thread (behavioural threads use this)."""
+        if self.live_threads >= self.config.max_threads:
+            raise ResourceError(
+                f"{self.name}: all {self.config.max_threads} hardware threads in use"
+            )
+        self.threads.append(thread)
+        self.on_thread_runnable(thread)
+
+    def claim_tid(self) -> int:
+        """Allocate the next thread id (for external thread constructors)."""
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    # -- scheduler callbacks ------------------------------------------------
+
+    def on_thread_runnable(self, thread: HardwareThread) -> None:
+        """A thread became runnable; ensure the core is ticking."""
+        if thread not in self._rotation:
+            self._rotation.append(thread)
+        self._ensure_ticking()
+
+    def on_thread_paused(self, thread: HardwareThread) -> None:
+        """A thread paused; drop it from the issue rotation."""
+        try:
+            self._rotation.remove(thread)
+        except ValueError:
+            pass
+
+    def on_thread_halted(self, thread: HardwareThread) -> None:
+        """A thread halted; drop it and fire completion callbacks."""
+        try:
+            self._rotation.remove(thread)
+        except ValueError:
+            pass
+        for callback in self.on_halt_callbacks:
+            callback(thread)
+
+    def _ensure_ticking(self) -> None:
+        if self._ticking or not self._rotation:
+            return
+        self._ticking = True
+        self.sim.schedule_at(self._next_cycle_boundary(), self._tick)
+
+    def _tick(self) -> None:
+        self._ticking = False
+        if not self._rotation:
+            return
+        issued = False
+        cycle = self.cycle
+        for _ in range(len(self._rotation)):
+            thread = self._rotation[0]
+            self._rotation.rotate(-1)
+            if thread.next_issue_cycle > cycle:
+                continue
+            outcome = thread.step()
+            if outcome is not StepOutcome.PAUSED:  # issued or retired-and-halted
+                thread.next_issue_cycle = cycle + HardwareThread.PIPELINE_DEPTH
+                self.stats.slots_issued += 1
+                self.tracer.record(self.sim.now, self.name, "issue", thread.name)
+            issued = True
+            break
+        if not issued:
+            self.stats.slots_bubble += 1
+        self._ensure_ticking()
+
+    # ------------------------------------------------------------------
+    # Resources
+    # ------------------------------------------------------------------
+
+    def chanend(self, index: int) -> Chanend:
+        """The channel end with local index ``index``."""
+        try:
+            return self._chanends[index]
+        except IndexError:
+            raise ResourceError(f"{self.name}: no chanend {index}") from None
+
+    def chanends(self) -> Iterable[Chanend]:
+        """All channel ends (allocated or not)."""
+        return iter(self._chanends)
+
+    def allocate_chanend(self) -> Chanend:
+        """Claim a free channel end (host-level helper and ``getr`` backend)."""
+        for chanend in self._chanends:
+            if not chanend.allocated:
+                chanend.allocated = True
+                return chanend
+        raise ResourceError(f"{self.name}: out of channel ends")
+
+    def allocate_resource(self, res_type: int) -> int:
+        """``getr``: claim a resource, returning its 32-bit identifier."""
+        if res_type == RES_TYPE_CHANEND:
+            return self.allocate_chanend().address.encode()
+        if res_type == RES_TYPE_TIMER:
+            for timer in self._timers:
+                if not timer.allocated:
+                    timer.allocated = True
+                    return self._encode_resource(timer.index, RES_TYPE_TIMER)
+            raise ResourceError(f"{self.name}: out of timers")
+        if res_type == RES_TYPE_LOCK:
+            for lock in self._locks:
+                if not lock.allocated:
+                    lock.allocated = True
+                    return self._encode_resource(lock.index, RES_TYPE_LOCK)
+            raise ResourceError(f"{self.name}: out of locks")
+        raise TrapError(f"{self.name}: getr of unsupported resource type {res_type}")
+
+    def free_resource(self, resource_id: int) -> None:
+        """``freer``: release a previously allocated resource."""
+        res_type = resource_id & 0xFF
+        index = (resource_id >> 8) & 0xFF
+        if res_type == RES_TYPE_CHANEND:
+            chanend = self.chanend(index)
+            chanend.allocated = False
+            chanend.reset()
+        elif res_type == RES_TYPE_TIMER:
+            self._timer_at(index).allocated = False
+        elif res_type == RES_TYPE_LOCK:
+            lock = self._lock_at(index)
+            lock.allocated = False
+            lock.holder = None
+            lock.waiters.clear()
+        else:
+            raise TrapError(f"{self.name}: freer of unsupported resource {resource_id:#x}")
+
+    def _encode_resource(self, index: int, res_type: int) -> int:
+        return (self.node_id << 16) | (index << 8) | res_type
+
+    def _timer_at(self, index: int) -> TimerResource:
+        try:
+            return self._timers[index]
+        except IndexError:
+            raise ResourceError(f"{self.name}: no timer {index}") from None
+
+    def _lock_at(self, index: int) -> LockResource:
+        try:
+            return self._locks[index]
+        except IndexError:
+            raise ResourceError(f"{self.name}: no lock {index}") from None
+
+    def check_timer(self, resource_id: int, thread: HardwareThread) -> TimerResource:
+        """Validate a timer resource id for ``in``; returns the timer."""
+        timer = self._timer_at((resource_id >> 8) & 0xFF)
+        if not timer.allocated:
+            raise TrapError(f"{thread.name}: timer {timer.index} not allocated")
+        return timer
+
+    def lock_for(self, resource_id: int, thread: HardwareThread) -> LockResource:
+        """Validate a lock resource id; returns the lock."""
+        lock = self._lock_at((resource_id >> 8) & 0xFF)
+        if not lock.allocated:
+            raise TrapError(f"{thread.name}: lock {lock.index} not allocated")
+        return lock
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def count_instruction(self, energy_class: EnergyClass) -> None:
+        """Record one completed instruction for the energy model."""
+        self.stats.instructions[energy_class] += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<XCore {self.name} node={self.node_id} f={self._frequency} "
+            f"threads={len(self.threads)}>"
+        )

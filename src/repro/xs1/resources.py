@@ -1,0 +1,115 @@
+"""Timer and lock resources.
+
+XS1 cores expose hardware resources through the same ``getr``/``freer``/
+``in``/``out`` instructions as channels.  We model the two Swallow
+programs actually need:
+
+* **timers** — reading one returns the 100 MHz reference-clock count, the
+  architecture's time base (reads are non-blocking);
+* **locks** — ``in`` acquires (pausing the thread while held elsewhere),
+  ``out`` releases, waking waiters FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.sim import PS_PER_S
+from repro.xs1.errors import ResourceError
+
+if TYPE_CHECKING:
+    from repro.xs1.thread import HardwareThread
+
+#: XS1 reference clock (100 MHz) — the timebase returned by timer reads.
+REF_CLOCK_HZ = 100_000_000
+_REF_TICK_PS = PS_PER_S // REF_CLOCK_HZ
+
+
+class TimerResource:
+    """A free-running 32-bit timer on the 100 MHz reference clock.
+
+    Supports XS1-style events: arm a compare value with ``tsetafter``,
+    enable with ``eeu``, and ``waiteu`` dispatches to the vector once the
+    reference clock passes the compare value.
+    """
+
+    def __init__(self, index: int):
+        self.index = index
+        self.allocated = False
+        self.event_vector: int | None = None
+        self.event_enabled = False
+        self.event_thread = None
+        self.after_ticks: int | None = None
+
+    @staticmethod
+    def read(time_ps: int) -> int:
+        """Reference-clock ticks at simulation time ``time_ps`` (low 32 bits)."""
+        return (time_ps // _REF_TICK_PS) & 0xFFFF_FFFF
+
+    @staticmethod
+    def ticks_to_ps(ticks: int) -> int:
+        """Simulation time at which the reference clock reads ``ticks``."""
+        return ticks * _REF_TICK_PS
+
+    def event_ready(self, time_ps: int) -> bool:
+        """True once the reference clock has reached the compare value."""
+        if self.after_ticks is None:
+            return False
+        return self.read(time_ps) >= self.after_ticks
+
+    def schedule_event_wake(self, sim) -> None:
+        """Arrange a wake-up at the compare time (if armed and future)."""
+        if self.after_ticks is None or not self.event_enabled:
+            return
+        target_ps = self.ticks_to_ps(self.after_ticks)
+        delay = max(0, target_ps - sim.now)
+        sim.schedule(delay, self._maybe_fire)
+
+    def _maybe_fire(self) -> None:
+        thread = self.event_thread
+        if (
+            self.event_enabled
+            and thread is not None
+            and getattr(thread, "waiting_for_event", False)
+            and self.event_ready(thread.core.sim.now)
+        ):
+            thread.take_event(self.event_vector)
+
+
+class LockResource:
+    """A hardware lock: ``in`` acquires, ``out`` releases, FIFO waiters."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.allocated = False
+        self.holder: "HardwareThread | None" = None
+        self.waiters: deque["HardwareThread"] = deque()
+        self.acquisitions = 0
+
+    def try_acquire(self, thread: "HardwareThread") -> bool:
+        """Acquire if free (or already held by ``thread``); else queue."""
+        if self.holder is None or self.holder is thread:
+            first_acquire = self.holder is None
+            self.holder = thread
+            if first_acquire:
+                self.acquisitions += 1
+            return True
+        if thread not in self.waiters:
+            self.waiters.append(thread)
+        return False
+
+    def release(self, thread: "HardwareThread") -> None:
+        """Release; the oldest waiter (if any) becomes the holder."""
+        if self.holder is not thread:
+            raise ResourceError(
+                f"lock {self.index}: released by {thread.name} but held by "
+                f"{self.holder.name if self.holder else 'nobody'}"
+            )
+        if self.waiters:
+            next_holder = self.waiters.popleft()
+            self.holder = next_holder
+            self.acquisitions += 1
+            next_holder.resume()
+        else:
+            self.holder = None

@@ -1,0 +1,147 @@
+"""Hardware threads.
+
+An XS1-L core schedules up to eight hardware threads with zero
+context-switch overhead; a thread occupies a pipeline issue slot only when
+it is runnable, and a *paused* thread (blocked on channel input/output, a
+lock, or an explicit wait) costs nothing.  This gives the paper's Eq. 2:
+
+    IPS_thread = f / max(4, N_active)
+    IPS_core   = f * min(4, N_active) / 4
+
+The base class carries scheduling state; :class:`IsaThread` executes
+assembled programs and :class:`~repro.xs1.behavioral.BehavioralThread`
+executes Python coroutines with the same timing rules.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.xs1.errors import TrapError
+from repro.xs1.registers import RegisterFile
+
+if TYPE_CHECKING:
+    from repro.xs1.assembler import Program
+    from repro.xs1.core import XCore
+
+
+class ThreadState(Enum):
+    """Lifecycle states of a hardware thread."""
+
+    RUNNABLE = "runnable"
+    PAUSED = "paused"
+    HALTED = "halted"
+
+
+class StepOutcome(Enum):
+    """Result of giving a thread one issue slot."""
+
+    ISSUED = "issued"      # an instruction issued; pc already updated
+    PAUSED = "paused"      # the instruction blocked; it will re-issue on wake
+    HALTED = "halted"      # the thread has finished
+
+
+class HardwareThread:
+    """Scheduling state common to ISA and behavioural threads."""
+
+    #: Minimum cycles between issues of the same thread (4-stage pipeline).
+    PIPELINE_DEPTH = 4
+
+    def __init__(self, core: "XCore", tid: int, name: str | None = None):
+        self.core = core
+        self.tid = tid
+        self.name = name or f"{core.name}.t{tid}"
+        self.state = ThreadState.RUNNABLE
+        self.regs = RegisterFile()
+        self.next_issue_cycle = 0
+        self.instructions_executed = 0
+        self.pause_reason: str | None = None
+        #: True while blocked in ``waiteu`` awaiting an enabled event.
+        self.waiting_for_event = False
+        #: Resources whose events this thread has enabled (``eeu``).
+        self.event_resources: list = []
+
+    @property
+    def runnable(self) -> bool:
+        """True when the thread may be given issue slots."""
+        return self.state is ThreadState.RUNNABLE
+
+    @property
+    def halted(self) -> bool:
+        """True once the thread has finished."""
+        return self.state is ThreadState.HALTED
+
+    def pause(self, reason: str) -> None:
+        """Block the thread; it stops consuming issue slots."""
+        if self.state is ThreadState.HALTED:
+            raise TrapError(f"{self.name}: cannot pause a halted thread")
+        self.state = ThreadState.PAUSED
+        self.pause_reason = reason
+        self.core.on_thread_paused(self)
+
+    def resume(self) -> None:
+        """Make the thread runnable again (idempotent for runnable threads)."""
+        if self.state is ThreadState.HALTED:
+            return
+        if self.state is ThreadState.RUNNABLE:
+            return
+        self.state = ThreadState.RUNNABLE
+        self.pause_reason = None
+        self.core.on_thread_runnable(self)
+
+    def halt(self) -> None:
+        """Finish the thread permanently."""
+        if self.state is ThreadState.HALTED:
+            return
+        self.state = ThreadState.HALTED
+        self.pause_reason = None
+        self.core.on_thread_halted(self)
+
+    def take_event(self, vector: int | None) -> None:
+        """An enabled event fired while waiting: dispatch to its vector."""
+        if not self.waiting_for_event:
+            return
+        self.waiting_for_event = False
+        self.resume()
+
+    def step(self) -> StepOutcome:
+        """Consume one issue slot.  Implemented by subclasses."""
+        raise NotImplementedError
+
+
+class IsaThread(HardwareThread):
+    """A hardware thread executing an assembled :class:`Program`."""
+
+    def __init__(
+        self,
+        core: "XCore",
+        tid: int,
+        program: "Program",
+        entry: int = 0,
+        name: str | None = None,
+    ):
+        super().__init__(core, tid, name)
+        self.program = program
+        self.pc = entry
+
+    def take_event(self, vector: int | None) -> None:
+        """Dispatch to the event vector: the next issue starts there."""
+        if not self.waiting_for_event:
+            return
+        if vector is None:
+            raise TrapError(f"{self.name}: event fired with no vector set")
+        self.pc = vector
+        super().take_event(vector)
+
+    def step(self) -> StepOutcome:
+        """Fetch and execute the instruction at ``pc``."""
+        from repro.xs1.executor import execute
+
+        if self.pc < 0 or self.pc >= len(self.program.instructions):
+            raise TrapError(
+                f"{self.name}: pc {self.pc} outside program "
+                f"{self.program.name!r} of {len(self.program.instructions)} instructions"
+            )
+        instruction = self.program.instructions[self.pc]
+        return execute(self.core, self, instruction)

@@ -1,0 +1,54 @@
+"""Tests for bisection-bandwidth analysis."""
+
+import pytest
+
+from repro.analysis import (
+    horizontal_bisection_bps,
+    min_cut_bps,
+    vertical_bisection_bps,
+)
+from repro.network.topology import SwallowTopology
+from repro.sim import Simulator
+
+
+def build(sx=1, sy=1):
+    return SwallowTopology(Simulator(), slices_x=sx, slices_y=sy)
+
+
+class TestSliceBisection:
+    def test_paper_250mbps_vertical_bisection(self):
+        """§V.D: the slice's vertical bisection carries C = 250 Mbit/s
+        (four columns x 62.5 Mbit/s operating rate)."""
+        assert vertical_bisection_bps(build()) == pytest.approx(250e6)
+
+    def test_max_rate_bisection_doubles(self):
+        topo = build()
+        operating = vertical_bisection_bps(topo, use_operating_rate=True)
+        maximum = vertical_bisection_bps(topo, use_operating_rate=False)
+        assert maximum == pytest.approx(2 * operating)
+
+    def test_horizontal_bisection(self):
+        # Two rows x one horizontal on-board link each = 125 Mbit/s.
+        assert horizontal_bisection_bps(build()) == pytest.approx(125e6)
+
+    def test_multi_slice_bisection_scales_with_columns(self):
+        assert vertical_bisection_bps(build(sx=2, sy=2)) == pytest.approx(
+            8 * 62.5e6
+        )
+
+
+class TestMinCut:
+    def test_min_cut_bounded_by_bisection(self):
+        topo = build()
+        north = topo.node_at(0, 0, topo.coord_of(0).layer)
+        south = topo.node_at(0, 1, topo.coord_of(0).layer)
+        cut = min_cut_bps(topo, north, south)
+        assert cut > 0
+
+    def test_in_package_cut_is_four_links(self):
+        topo = build()
+        package = topo.packages[(0, 0)]
+        cut = min_cut_bps(topo, package.vertical_node, package.horizontal_node)
+        # The pair is also connected via the rest of the lattice, so the
+        # cut is at least the four on-chip links at 250 Mbit/s each.
+        assert cut >= 4 * 250e6

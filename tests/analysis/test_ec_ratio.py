@@ -1,0 +1,63 @@
+"""Tests for the §V.D E/C scenarios."""
+
+import pytest
+
+from repro.analysis import (
+    RELATED_WORK_EC_RANGE,
+    ec_ratio,
+    execution_rate_bps,
+    measured_ec,
+    paper_scenarios,
+    thread_execution_rate_bps,
+)
+
+
+class TestExecutionRates:
+    def test_per_thread_4gbps(self):
+        """§V.D: 125 MIPS x 32 bits = 4 Gbit/s per thread."""
+        assert thread_execution_rate_bps(threads=1) == pytest.approx(4e9)
+
+    def test_core_16gbps_with_four_threads(self):
+        assert execution_rate_bps(threads=4) == pytest.approx(16e9)
+
+    def test_more_threads_do_not_increase_e(self):
+        assert execution_rate_bps(threads=8) == pytest.approx(16e9)
+
+
+class TestPaperScenarios:
+    def test_all_five_scenarios_present(self):
+        names = [s.name for s in paper_scenarios()]
+        assert len(names) == 5
+
+    @pytest.mark.parametrize("index,expected", [
+        (0, 1.0), (1, 16.0), (2, 64.0), (3, 256.0), (4, 512.0),
+    ])
+    def test_ratios_match_paper(self, index, expected):
+        scenario = paper_scenarios()[index]
+        assert scenario.ratio == pytest.approx(expected, rel=1e-6)
+        assert scenario.paper_value == expected
+
+    def test_ratios_monotonically_worse_with_distance(self):
+        ratios = [s.ratio for s in paper_scenarios()]
+        assert ratios == sorted(ratios)
+
+    def test_related_work_range_bounds(self):
+        low, high = RELATED_WORK_EC_RANGE
+        assert low == 0.42 and high == 55.0
+
+
+class TestRatioArithmetic:
+    def test_basic(self):
+        assert ec_ratio(16e9, 1e9) == pytest.approx(16.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ec_ratio(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ec_ratio(-1.0, 1.0)
+
+    def test_measured_ec(self):
+        # 1000 instructions x 32 bits over 1000 bits moved -> 32.
+        assert measured_ec(1000, 32_000) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            measured_ec(10, 0)

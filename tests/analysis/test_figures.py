@@ -1,0 +1,98 @@
+"""Tests for figure/series export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.figures import (
+    ALL_FIGURES,
+    ec_ladder,
+    eq2_throughput,
+    export_csv,
+    fig2_breakdown,
+    fig3_scaling,
+    fig4_dvfs,
+    table1_links,
+    table2_processors,
+    table3_systems,
+)
+
+
+class TestSeriesShapes:
+    def test_every_builder_returns_header_and_rows(self):
+        for name, builder in ALL_FIGURES.items():
+            header, rows = builder()
+            assert header and rows, name
+            assert all(len(row) == len(header) for row in rows), name
+
+    def test_fig2_shares_sum_to_one(self):
+        _, rows = fig2_breakdown()
+        assert sum(row[2] for row in rows) == pytest.approx(1.0, abs=0.001)
+
+    def test_fig3_covers_frequency_range(self):
+        _, rows = fig3_scaling(points=5)
+        assert rows[0][0] == 71.0
+        assert rows[-1][0] == 500.0
+        assert all(loaded > idle for _, loaded, idle in rows)
+
+    def test_fig3_measured_matches_model(self):
+        _, analytic = fig3_scaling(points=3)
+        _, measured = fig3_scaling(points=3, measured=True)
+        for (f1, l1, i1), (f2, l2, i2) in zip(analytic, measured):
+            assert f1 == f2
+            assert l2 == pytest.approx(l1, rel=0.03)
+            assert i2 == pytest.approx(i1, rel=0.03)
+
+    def test_fig4_dvfs_below_1v(self):
+        _, rows = fig4_dvfs(points=6)
+        assert all(dvfs < p1v for _, p1v, dvfs in rows)
+
+    def test_table1_four_rows(self):
+        _, rows = table1_links()
+        assert len(rows) == 4
+        assert rows[3][3] == pytest.approx(10880, rel=0.01)
+
+    def test_table2_verdict_column(self):
+        _, rows = table2_processors()
+        winners = [row[0] for row in rows if row[-1] == 1]
+        assert winners == ["XMOS XS1-L"]
+
+    def test_table3_recomputed_column(self):
+        header, rows = table3_systems()
+        swallow = next(r for r in rows if r[0] == "Swallow")
+        assert swallow[header.index("recomputed_uw_per_mhz")] == 300.0
+
+    def test_ec_ladder_values(self):
+        _, rows = ec_ladder()
+        assert [row[3] for row in rows] == [1.0, 16.0, 64.0, 256.0, 512.0]
+
+    def test_eq2_rows(self):
+        _, rows = eq2_throughput()
+        assert rows[0] == [1, 125.0, 125.0]
+        assert rows[-1] == [8, 62.5, 500.0]
+
+
+class TestCsvExport:
+    def test_exports_all_by_default(self, tmp_path):
+        written = export_csv(tmp_path)
+        assert len(written) == len(ALL_FIGURES)
+        for path in written:
+            with open(path) as handle:
+                reader = list(csv.reader(handle))
+            assert len(reader) >= 2   # header + data
+
+    def test_subset_export(self, tmp_path):
+        written = export_csv(tmp_path, ["ec_ladder"])
+        assert len(written) == 1
+        assert written[0].endswith("ec_ladder.csv")
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown figure"):
+            export_csv(tmp_path, ["fig99"])
+
+    def test_cli_figures(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["figures", "--out", str(tmp_path), "table1_links"]) == 0
+        out = capsys.readouterr().out
+        assert "table1_links.csv" in out

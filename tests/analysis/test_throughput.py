@@ -1,0 +1,80 @@
+"""Tests for Eq. 2 analytics and the measured counterpart."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ips_per_core,
+    ips_per_thread,
+    measured_core_ips,
+    single_thread_mips,
+    system_gips,
+)
+
+
+class TestEq2Analytic:
+    def test_single_thread_is_125_mips(self):
+        """§V.D: one thread issues 125 MIPS at 500 MHz."""
+        assert single_thread_mips() == pytest.approx(125.0)
+
+    def test_four_threads_saturate(self):
+        assert ips_per_core(500e6, 4) == pytest.approx(500e6)
+        assert ips_per_thread(500e6, 4) == pytest.approx(125e6)
+
+    def test_more_threads_share_rate(self):
+        assert ips_per_thread(500e6, 8) == pytest.approx(62.5e6)
+        assert ips_per_core(500e6, 8) == pytest.approx(500e6)
+
+    def test_zero_threads(self):
+        assert ips_per_thread(500e6, 0) == 0.0
+        assert ips_per_core(500e6, 0) == 0.0
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_core_equals_thread_times_count(self, n):
+        per_thread = ips_per_thread(500e6, n)
+        per_core = ips_per_core(500e6, n)
+        assert per_core == pytest.approx(per_thread * n)
+
+    def test_headline_240_gips(self):
+        """§I: "the system provides up to 240 GIPS" at 480 cores."""
+        assert system_gips(480) == pytest.approx(240.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ips_per_thread(0, 1)
+        with pytest.raises(ValueError):
+            ips_per_core(500e6, -1)
+        with pytest.raises(ValueError):
+            system_gips(-1)
+
+
+class TestMeasured:
+    @pytest.mark.parametrize("threads,expected_mips", [(1, 125), (4, 500), (6, 500)])
+    def test_simulated_core_matches_eq2(self, threads, expected_mips):
+        from repro.sim import Simulator
+        from repro.xs1 import LoopbackFabric, XCore, assemble
+
+        sim = Simulator()
+        core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+        program = assemble("""
+            ldc r0, 2000
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """)
+        for _ in range(threads):
+            core.spawn(program)
+        sim.run()
+        measured = measured_core_ips(core, sim.now) / 1e6
+        assert measured == pytest.approx(expected_mips, rel=0.02)
+
+    def test_measured_requires_elapsed_time(self):
+        from repro.sim import Simulator
+        from repro.xs1 import LoopbackFabric, XCore
+
+        sim = Simulator()
+        core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+        with pytest.raises(ValueError):
+            measured_core_ips(core, 0)

@@ -1,0 +1,155 @@
+"""Tests for the assembly kernel suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kernels import (
+    bubble_sort,
+    checksum32,
+    default_suite,
+    dot_product,
+    fibonacci,
+    matrix_multiply,
+    memcpy_words,
+    run_kernel,
+    vector_scale,
+)
+from repro.sim import Simulator
+from repro.xs1 import EnergyClass, LoopbackFabric, XCore
+
+words = st.lists(
+    st.integers(min_value=0, max_value=0xFFFF_FFFF), min_size=1, max_size=16
+)
+
+
+def fresh_core():
+    sim = Simulator()
+    return XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+
+
+class TestKernels:
+    def test_memcpy(self):
+        core = fresh_core()
+        data = [10, 20, 30, 40]
+        outputs, _ = run_kernel(core, memcpy_words(4), data)
+        assert outputs == data
+
+    def test_dot_product(self):
+        core = fresh_core()
+        outputs, _ = run_kernel(core, dot_product(3), [1, 2, 3], [4, 5, 6])
+        assert outputs == [32]
+
+    def test_vector_scale(self):
+        core = fresh_core()
+        outputs, _ = run_kernel(core, vector_scale(3, 7), [1, 2, 3])
+        assert outputs == [7, 14, 21]
+
+    def test_checksum_differs_on_permutation(self):
+        c1 = fresh_core()
+        c2 = fresh_core()
+        out1, _ = run_kernel(c1, checksum32(3), [1, 2, 3])
+        out2, _ = run_kernel(c2, checksum32(3), [3, 2, 1])
+        assert out1 != out2
+
+    def test_bubble_sort(self):
+        core = fresh_core()
+        outputs, _ = run_kernel(core, bubble_sort(6), [5, 1, 4, 2, 6, 3])
+        assert outputs == [1, 2, 3, 4, 5, 6]
+
+    def test_matrix_multiply_identity(self):
+        core = fresh_core()
+        identity = [1, 0, 0, 1]
+        m = [1, 2, 3, 4]
+        outputs, _ = run_kernel(core, matrix_multiply(2), m, identity)
+        assert outputs == m
+
+    def test_matrix_multiply_general(self):
+        core = fresh_core()
+        outputs, _ = run_kernel(
+            core, matrix_multiply(2), [1, 2, 3, 4], [5, 6, 7, 8]
+        )
+        assert outputs == [19, 22, 43, 50]
+
+    def test_fibonacci(self):
+        core = fresh_core()
+        outputs, _ = run_kernel(core, fibonacci(8))
+        assert outputs == [0, 1, 1, 2, 3, 5, 8, 13]
+
+    def test_full_suite_verifies(self):
+        for kernel in default_suite():
+            core = fresh_core()
+            size = kernel.output_words if kernel.name != "dot-product" else 32
+            a = list(range(1, 33))
+            b = list(range(33, 65))
+            run_kernel(core, kernel, a[:32], b[:32])
+
+
+class TestKernelProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(words)
+    def test_memcpy_any_data(self, data):
+        core = fresh_core()
+        outputs, _ = run_kernel(core, memcpy_words(len(data)), data)
+        assert outputs == data
+
+    @settings(max_examples=15, deadline=None)
+    @given(words)
+    def test_sort_any_data(self, data):
+        core = fresh_core()
+        outputs, _ = run_kernel(core, bubble_sort(len(data)), data)
+        assert outputs == sorted(data)
+
+    @settings(max_examples=10, deadline=None)
+    @given(words, words)
+    def test_dot_product_any_data(self, a, b):
+        n = min(len(a), len(b))
+        core = fresh_core()
+        outputs, _ = run_kernel(core, dot_product(n), a[:n], b[:n])
+        expected = sum(x * y for x, y in zip(a[:n], b[:n])) & 0xFFFF_FFFF
+        assert outputs == [expected]
+
+
+class TestKernelTiming:
+    def test_cycle_counts_deterministic(self):
+        def cycles():
+            core = fresh_core()
+            _, thread = run_kernel(core, dot_product(16), list(range(16)),
+                                   list(range(16)))
+            return core.cycle, thread.instructions_executed
+
+        assert cycles() == cycles()
+
+    def test_instruction_mix_varies_by_kernel(self):
+        """Different kernels have different energy-class mixes (§II)."""
+        def mix(kernel, a, b=None):
+            core = fresh_core()
+            run_kernel(core, kernel, a, b)
+            histogram = core.stats.instructions
+            total = sum(histogram.values())
+            return {cls: count / total for cls, count in histogram.items()}
+
+        mem_mix = mix(memcpy_words(16), list(range(16)))
+        fib_mix = mix(fibonacci(16), None)
+        dot_mix = mix(dot_product(16), list(range(16)), list(range(16)))
+        # memcpy is load/store heavy; fibonacci does no loads; dot multiplies.
+        assert mem_mix[EnergyClass.MEM_LOAD] > 0.15
+        assert EnergyClass.MEM_LOAD not in fib_mix
+        assert dot_mix[EnergyClass.MUL] > 0.08
+
+    def test_energy_per_instruction_tracks_mix(self):
+        """The Kerrison model prices kernels differently by their mix."""
+        from repro.energy import InstructionEnergyModel
+
+        model = InstructionEnergyModel()
+
+        def mean_nj(kernel, a, b=None):
+            core = fresh_core()
+            run_kernel(core, kernel, a, b)
+            return model.mean_nj(core.stats.instructions)
+
+        memcpy_nj = mean_nj(memcpy_words(16), list(range(16)))
+        fib_nj = mean_nj(fibonacci(16), None)
+        assert memcpy_nj > fib_nj  # loads/stores cost more than ALU
+        low, high = model.range_nj
+        assert low <= fib_nj <= memcpy_nj <= high

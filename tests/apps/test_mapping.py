@@ -1,0 +1,66 @@
+"""Tests for placement strategies and communication-scope classification."""
+
+import pytest
+
+from repro.apps import Placement, communication_scope, place
+from repro.board import build_machine
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def machine():
+    return build_machine(Simulator(), slices_x=2)
+
+
+class TestPlace:
+    def test_same_core_repeats_one_core(self, machine):
+        cores = place(machine, 4, Placement.SAME_CORE)
+        assert len(set(id(c) for c in cores)) == 1
+
+    def test_same_core_thread_limit(self, machine):
+        with pytest.raises(ValueError):
+            place(machine, 9, Placement.SAME_CORE)
+
+    def test_same_package_alternates(self, machine):
+        cores = place(machine, 4, Placement.SAME_PACKAGE)
+        nodes = [c.node_id for c in cores]
+        assert nodes[0] == nodes[2]
+        assert nodes[1] == nodes[3]
+        assert nodes[0] != nodes[1]
+
+    def test_same_slice_stays_on_one_board(self, machine):
+        cores = place(machine, 8, Placement.SAME_SLICE)
+        slices = {machine.topology.slice_of(c.node_id) for c in cores}
+        assert len(slices) == 1
+
+    def test_cross_slice_spans_boards(self, machine):
+        cores = place(machine, 2, Placement.CROSS_SLICE)
+        slices = {machine.topology.slice_of(c.node_id) for c in cores}
+        assert len(slices) == 2
+
+    def test_cross_slice_needs_two_slices(self):
+        single = build_machine(Simulator())
+        with pytest.raises(ValueError):
+            place(single, 2, Placement.CROSS_SLICE)
+
+    def test_zero_tasks_rejected(self, machine):
+        with pytest.raises(ValueError):
+            place(machine, 0, Placement.SAME_CORE)
+
+
+class TestScope:
+    def test_core_local(self, machine):
+        cores = place(machine, 3, Placement.SAME_CORE)
+        assert communication_scope(cores, machine) == "core-local"
+
+    def test_chip_local(self, machine):
+        cores = place(machine, 2, Placement.SAME_PACKAGE)
+        assert communication_scope(cores, machine) == "chip-local"
+
+    def test_board_local(self, machine):
+        cores = place(machine, 6, Placement.SAME_SLICE)
+        assert communication_scope(cores, machine) == "board-local"
+
+    def test_off_board(self, machine):
+        cores = place(machine, 2, Placement.CROSS_SLICE)
+        assert communication_scope(cores, machine) == "off-board"

@@ -1,0 +1,229 @@
+"""Tests for the parallel application patterns."""
+
+import pytest
+
+from repro.apps import (
+    SharedMemoryServer,
+    build_client_server,
+    build_message_ring,
+    build_pipeline,
+    build_task_farm,
+    shmem_read,
+    shmem_write,
+)
+from repro.board import build_machine
+from repro.sim import Simulator
+from repro.xs1 import BehavioralThread
+
+
+@pytest.fixture
+def machine():
+    return build_machine(Simulator())
+
+
+class TestPipeline:
+    def test_items_flow_through_all_stages(self, machine):
+        cores = machine.cores[:4]
+        result = build_pipeline(cores, items=8, compute_per_stage=10)
+        machine.sim.run()
+        assert result.complete
+        # Source emits 0..7; three downstream stages each add 1.
+        assert result.outputs == [i + 3 for i in range(8)]
+
+    def test_two_stage_minimum(self, machine):
+        result = build_pipeline(machine.cores[:2], items=3, compute_per_stage=5)
+        machine.sim.run()
+        assert result.outputs == [1, 2, 3]
+
+    def test_single_core_rejected(self, machine):
+        with pytest.raises(ValueError):
+            build_pipeline(machine.cores[:1], items=1, compute_per_stage=1)
+
+    def test_zero_items_rejected(self, machine):
+        with pytest.raises(ValueError):
+            build_pipeline(machine.cores[:2], items=0, compute_per_stage=1)
+
+    def test_makespan_scales_with_compute(self):
+        def makespan(compute):
+            machine = build_machine(Simulator())
+            result = build_pipeline(
+                machine.cores[:3], items=5, compute_per_stage=compute
+            )
+            machine.sim.run()
+            return result.makespan_ps
+
+        assert makespan(2000) > makespan(10)
+
+    def test_traffic_recorded(self, machine):
+        result = build_pipeline(machine.cores[:3], items=4, compute_per_stage=1)
+        machine.sim.run()
+        # 4 items x 32 bits over 2 channels, at minimum.
+        assert result.bits_moved >= 4 * 32 * 2
+
+    def test_pipeline_on_single_core_threads(self, machine):
+        """Stages as hardware threads of one core (core-local channel)."""
+        core = machine.cores[0]
+        result = build_pipeline([core, core, core], items=5, compute_per_stage=3)
+        machine.sim.run()
+        assert result.complete
+
+
+class TestTaskFarm:
+    def test_all_items_processed(self, machine):
+        result = build_task_farm(
+            machine.cores[0], machine.cores[1:4], items=12, compute_per_item=20
+        )
+        machine.sim.run()
+        assert result.complete
+        assert sorted(result.outputs) == [2 * i for i in range(12)]
+
+    def test_single_worker(self, machine):
+        result = build_task_farm(
+            machine.cores[0], [machine.cores[1]], items=5, compute_per_item=5
+        )
+        machine.sim.run()
+        assert sorted(result.outputs) == [0, 2, 4, 6, 8]
+
+    def test_more_workers_faster(self):
+        def makespan(n_workers):
+            machine = build_machine(Simulator())
+            result = build_task_farm(
+                machine.cores[0], machine.cores[1 : 1 + n_workers],
+                items=16, compute_per_item=4000,
+            )
+            machine.sim.run()
+            assert result.complete
+            return result.makespan_ps
+
+        assert makespan(4) < makespan(1)
+
+    def test_no_workers_rejected(self, machine):
+        with pytest.raises(ValueError):
+            build_task_farm(machine.cores[0], [], items=1, compute_per_item=1)
+
+
+class TestClientServer:
+    def test_every_client_answered(self, machine):
+        result = build_client_server(
+            machine.cores[0], machine.cores[1:4],
+            requests_per_client=3, compute_per_request=10,
+        )
+        machine.sim.run()
+        assert result.complete
+        assert len(result.outputs) == 9
+        assert all(value >= 1000 for value in result.outputs)
+
+    def test_responses_match_requests(self, machine):
+        result = build_client_server(
+            machine.cores[0], [machine.cores[1]],
+            requests_per_client=4, compute_per_request=1,
+        )
+        machine.sim.run()
+        assert result.outputs == [1000, 1001, 1002, 1003]
+
+
+class TestMessageRing:
+    def test_token_gains_one_per_hop(self, machine):
+        cores = machine.cores[:4]
+        result = build_message_ring(cores, rounds=3)
+        machine.sim.run()
+        # Each full round adds len(cores) (head adds 1 + 3 relays).
+        assert result.outputs == [4, 8, 12]
+
+    def test_ring_of_two(self, machine):
+        result = build_message_ring(machine.cores[:2], rounds=2)
+        machine.sim.run()
+        assert result.outputs == [2, 4]
+
+    def test_single_core_rejected(self, machine):
+        with pytest.raises(ValueError):
+            build_message_ring(machine.cores[:1], rounds=1)
+
+
+class TestBsp:
+    def test_all_workers_complete_all_supersteps(self, machine):
+        from repro.apps import build_bsp
+
+        result = build_bsp(machine.cores[:5], supersteps=4, compute_per_step=50)
+        machine.sim.run()
+        assert result.complete
+        assert result.outputs == [4, 4, 4, 4]
+        assert len(result.finish_times_ps) == 4
+
+    def test_barrier_separates_supersteps(self, machine):
+        """Barrier exits are strictly ordered in time."""
+        from repro.apps import build_bsp
+
+        result = build_bsp(machine.cores[:4], supersteps=3, compute_per_step=100)
+        machine.sim.run()
+        times = result.finish_times_ps
+        assert times == sorted(times)
+        assert len(set(times)) == 3
+
+    def test_slow_worker_holds_barrier(self):
+        """Imbalanced compute: makespan tracks the slowest worker."""
+        from repro.apps import build_bsp
+        from repro.board import build_machine
+        from repro.sim import Simulator
+
+        def makespan(compute):
+            machine = build_machine(Simulator())
+            result = build_bsp(machine.cores[:3], supersteps=2,
+                               compute_per_step=compute)
+            machine.sim.run()
+            assert result.complete
+            return result.makespan_ps
+
+        assert makespan(4000) > makespan(100)
+
+    def test_minimum_sizes_enforced(self, machine):
+        from repro.apps import build_bsp
+
+        with pytest.raises(ValueError):
+            build_bsp(machine.cores[:1], supersteps=1, compute_per_step=1)
+        with pytest.raises(ValueError):
+            build_bsp(machine.cores[:3], supersteps=0, compute_per_step=1)
+
+
+class TestSharedMemory:
+    def test_remote_read_write(self, machine):
+        server_core = machine.cores[0]
+        client_core = machine.cores[5]
+        server = SharedMemoryServer(core=server_core)
+        channel = server.connect(client_core)
+        server.serve(total_requests=3)
+        observed = []
+
+        def client():
+            yield from shmem_write(channel, 0x100, 777)
+            value = yield from shmem_read(channel, 0x100)
+            observed.append(value)
+            value2 = yield from shmem_read(channel, 0x104)
+            observed.append(value2)
+
+        BehavioralThread(client_core, client())
+        machine.sim.run()
+        assert observed == [777, 0]
+        assert server.requests_served == 3
+        assert server_core.memory.load_word(0x100) == 777
+
+    def test_two_clients_share_state(self, machine):
+        server = SharedMemoryServer(core=machine.cores[0])
+        ch1 = server.connect(machine.cores[1])
+        ch2 = server.connect(machine.cores[2])
+        server.serve(total_requests=2)
+        seen = []
+
+        def writer():
+            yield from shmem_write(ch1, 0x40, 31337)
+
+        def reader():
+            value = yield from shmem_read(ch2, 0x40)
+            seen.append(value)
+
+        BehavioralThread(machine.cores[1], writer())
+        BehavioralThread(machine.cores[2], reader())
+        machine.sim.run()
+        # Server round-robins; writer is client 0, so the write lands
+        # before the read is answered.
+        assert seen == [31337]

@@ -1,0 +1,55 @@
+"""Full-scale smoke tests: the 480-core machine builds and runs."""
+
+import pytest
+
+from repro.analysis import system_gips
+from repro.board import build_machine, system_power_w
+from repro.network.routing import Layer
+from repro.sim import Simulator, us
+from repro.xs1 import BehavioralThread, RecvWord, SendWord
+
+
+class TestLargestMachine:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        sim = Simulator()
+        return build_machine(sim, slices_x=5, slices_y=6)
+
+    def test_480_cores_build(self, machine):
+        assert len(machine.cores) == 480
+        assert machine.topology.num_slices == 30
+
+    def test_headline_figures_hold_at_scale(self, machine):
+        assert system_gips(len(machine.cores)) == pytest.approx(240.0)
+        assert system_power_w(machine.topology.num_slices) == pytest.approx(
+            134, rel=0.02
+        )
+
+    def test_corner_to_corner_transfer(self, machine):
+        """A word crosses the whole 20x12 package grid."""
+        topo = machine.topology
+        src = topo.node_at(0, 0, Layer.VERTICAL)
+        dst = topo.node_at(topo.packages_x - 1, topo.packages_y - 1,
+                           Layer.HORIZONTAL)
+        tx = machine.core_at_node(src).allocate_chanend()
+        rx = machine.core_at_node(dst).allocate_chanend()
+        tx.set_dest(rx.address)
+        got = []
+
+        def sender():
+            yield SendWord(tx, 0x5CA1E)
+
+        def receiver():
+            got.append((yield RecvWord(rx)))
+
+        BehavioralThread(machine.core_at_node(src), sender())
+        BehavioralThread(machine.core_at_node(dst), receiver())
+        machine.sim.run()
+        assert got == [0x5CA1E]
+
+    def test_idle_energy_at_scale(self, machine):
+        machine.sim.run_for(us(10))
+        energy = machine.accounting.total_energy_j()
+        # 480 idle cores at 113 mW + support: ~0.8 W x 10 us (order check).
+        assert energy > 480 * 0.100 * 10e-6
+        assert energy < 480 * 0.300 * 10e-6

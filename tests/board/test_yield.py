@@ -1,0 +1,56 @@
+"""Tests for the manufacturing-yield model."""
+
+import pytest
+
+from repro.board import (
+    CONNECTOR_FAILURE_P,
+    MANUFACTURED_SLICES,
+    USABLE_SLICES,
+    expected_usable,
+    largest_machine_cores,
+    manufacturing_run,
+    usable_slices,
+)
+
+
+class TestCalibration:
+    def test_expected_usable_matches_paper(self):
+        """A 40-board run yields 30 usable boards in expectation."""
+        assert expected_usable() == pytest.approx(USABLE_SLICES, rel=1e-9)
+
+    def test_failure_probability_sane(self):
+        assert 0 < CONNECTOR_FAILURE_P < 0.05
+
+
+class TestRuns:
+    def test_deterministic_given_seed(self):
+        assert manufacturing_run(seed=7) == manufacturing_run(seed=7)
+
+    def test_different_seeds_differ(self):
+        runs = {usable_slices(manufacturing_run(seed=s)) for s in range(20)}
+        assert len(runs) > 1
+
+    def test_default_run_near_paper_outcome(self):
+        """Across seeds, the mean usable count should hover near 30/40."""
+        counts = [usable_slices(manufacturing_run(seed=s)) for s in range(50)]
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(USABLE_SLICES, abs=1.5)
+
+    def test_largest_machine_cores(self):
+        outcomes = manufacturing_run(seed=3)
+        assert largest_machine_cores(outcomes) == usable_slices(outcomes) * 16
+        assert largest_machine_cores(outcomes) <= MANUFACTURED_SLICES * 16
+
+    def test_zero_failure_rate_perfect_yield(self):
+        outcomes = manufacturing_run(failure_p=0.0)
+        assert usable_slices(outcomes) == MANUFACTURED_SLICES
+
+    def test_certain_failure_rate_zero_yield(self):
+        outcomes = manufacturing_run(failure_p=1.0)
+        assert usable_slices(outcomes) == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            manufacturing_run(slices=-1)
+        with pytest.raises(ValueError):
+            manufacturing_run(failure_p=1.5)

@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInfo:
+    def test_single_slice(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "cores:            16" in out
+        assert "8.0 GIPS" in out
+
+    def test_480_core_machine(self, capsys):
+        assert main(["info", "--slices-x", "5", "--slices-y", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cores:            480" in out
+        assert "240.0 GIPS" in out
+
+
+class TestTables:
+    def test_tables_contain_all_sections(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "10880.0 pJ/bit" in out
+        assert "XMOS XS1-L" in out and "YES" in out
+        assert "SpiNNaker" in out
+        assert "Fig. 2" in out
+
+
+class TestDemo:
+    def test_demo_runs_and_reports(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "streamed words: [0, 1, 4, 9]" in out
+        assert "Energy report" in out
+
+
+class TestParsing:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

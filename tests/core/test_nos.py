@@ -1,0 +1,144 @@
+"""Tests for the nOS-lite task runtime."""
+
+import pytest
+
+from repro import Compute, SwallowSystem, assemble
+from repro.core import NanoOS
+from repro.xs1.errors import ResourceError
+
+
+def simple_task(core):
+    def body():
+        yield Compute(100)
+    return body()
+
+
+class TestPlacement:
+    def test_tasks_spread_across_cores(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        handles = [nos.submit(simple_task) for _ in range(16)]
+        placed = {handle.core.node_id for handle in handles}
+        assert len(placed) == 16  # least-loaded placement spreads out
+
+    def test_pinned_placement(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        target = system.core(7)
+        handle = nos.submit(simple_task, pin=target)
+        assert handle.core is target
+
+    def test_overflow_rejected(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        target = system.core(0)
+        for _ in range(8):
+            nos.submit(simple_task, pin=target)
+        with pytest.raises(ResourceError):
+            nos.submit(simple_task, pin=target)
+
+    def test_machine_wide_capacity(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        for _ in range(16 * 8):
+            nos.submit(simple_task)
+        with pytest.raises(ResourceError):
+            nos.submit(simple_task)
+
+    def test_placement_histogram(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        for _ in range(32):
+            nos.submit(simple_task)
+        histogram = nos.placement_histogram()
+        assert sum(histogram.values()) == 32
+        assert all(count == 2 for count in histogram.values())
+
+
+class TestExecution:
+    def test_tasks_complete(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        handles = [nos.submit(simple_task) for _ in range(4)]
+        system.run()
+        assert nos.all_done
+        assert all(handle.done for handle in handles)
+
+    def test_program_submission(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        handle = nos.submit_program(assemble("ldc r0, 1\nfreet"))
+        system.run()
+        assert handle.done
+        assert handle.thread.regs.read(0) == 1
+
+    def test_start_immediate_without_bridge(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        handle = nos.submit(simple_task)
+        system.run()
+        assert handle.start_time_ps == 0
+
+
+class TestMap:
+    def test_map_computes_all_items(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        job = nos.map(lambda x: x * x, list(range(10)))
+        system.run()
+        assert job.done
+        assert job.ordered_results() == [x * x for x in range(10)]
+
+    def test_map_spreads_work(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        nos.map(lambda x: x, list(range(16)))
+        system.run()
+        assert len(nos.placement_histogram()) == 16
+
+    def test_incomplete_job_raises(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        job = nos.map(lambda x: x, [1, 2, 3])
+        with pytest.raises(RuntimeError, match="incomplete"):
+            job.ordered_results()
+
+    def test_map_cost_affects_runtime(self):
+        def runtime(cost):
+            system = SwallowSystem()
+            nos = NanoOS(system)
+            job = nos.map(lambda x: x, [1], cost_per_item=cost)
+            system.run()
+            assert job.done
+            return system.sim.now
+
+        assert runtime(10_000) > runtime(10)
+
+    def test_map_over_ethernet_pays_upload(self):
+        system = SwallowSystem(ethernet_columns=(0,))
+        nos = NanoOS(system, bridge=system.bridges[0])
+        job = nos.map(lambda x: -x, [5, 6])
+        system.run()
+        assert job.ordered_results() == [-5, -6]
+        # Two 8 KiB uploads serialised at 80 Mbit/s >= 204.8 us.
+        assert system.sim.now >= 204_000_000
+
+
+class TestEthernetBoot:
+    def test_upload_delays_start(self):
+        """With a bridge, code upload at 80 Mbit/s delays task start."""
+        system = SwallowSystem(ethernet_columns=(0,))
+        nos = NanoOS(system, bridge=system.bridges[0])
+        handle = nos.submit(simple_task)
+        system.run()
+        assert handle.done
+        # 8 KiB at 80 Mbit/s = 102.4 us.
+        assert handle.start_time_ps == pytest.approx(102_400_000, rel=0.01)
+
+    def test_program_upload_time_scales_with_size(self):
+        system = SwallowSystem(ethernet_columns=(0,))
+        nos = NanoOS(system, bridge=system.bridges[0])
+        small = nos.submit_program(assemble("freet"))
+        big = nos.submit_program(assemble("\n".join(["nop"] * 400) + "\nfreet"))
+        system.run()
+        assert small.start_time_ps < big.start_time_ps

@@ -1,0 +1,139 @@
+"""Tests for the assembled SwallowSystem platform."""
+
+import pytest
+
+from repro import (
+    Compute,
+    Frequency,
+    RecvWord,
+    SendWord,
+    SwallowSystem,
+    assemble,
+)
+
+
+class TestConstruction:
+    def test_default_is_one_slice(self):
+        system = SwallowSystem()
+        assert system.num_cores == 16
+
+    def test_multi_slice(self):
+        assert SwallowSystem(slices_x=2, slices_y=2).num_cores == 64
+
+    def test_with_ethernet(self):
+        system = SwallowSystem(ethernet_columns=(0, 3))
+        assert len(system.bridges) == 2
+
+    def test_repr(self):
+        assert "16 cores" in repr(SwallowSystem())
+
+
+class TestExecution:
+    def test_isa_program_runs(self):
+        system = SwallowSystem()
+        thread = system.spawn(system.core(0), assemble("""
+            ldc r0, 10
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """))
+        system.run()
+        assert thread.halted
+        assert system.all_halted
+
+    def test_task_communication_via_channel(self):
+        system = SwallowSystem()
+        channel = system.channel(system.core(0), system.core(9))
+        got = []
+
+        def producer():
+            yield Compute(50)
+            yield SendWord(channel.a, 777)
+
+        def consumer():
+            got.append((yield RecvWord(channel.b)))
+
+        system.spawn_task(system.core(0), producer())
+        system.spawn_task(system.core(9), consumer())
+        system.run()
+        assert got == [777]
+
+    def test_run_for_us(self):
+        system = SwallowSystem()
+        system.run_for_us(5)
+        assert system.sim.now == 5_000_000
+
+    def test_set_frequency_all_cores(self):
+        system = SwallowSystem()
+        system.set_frequency(Frequency.mhz(125))
+        assert all(core.frequency.megahertz == 125 for core in system.cores)
+
+    def test_set_frequency_subset(self):
+        system = SwallowSystem()
+        system.set_frequency(Frequency.mhz(71), cores=[system.core(0)])
+        assert system.core(0).frequency.megahertz == 71
+        assert system.core(1).frequency.megahertz == 500
+
+
+class TestTransparency:
+    def test_energy_report_totals(self):
+        system = SwallowSystem()
+        system.spawn(system.core(0), assemble("""
+            ldc r0, 500
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """))
+        system.run()
+        report = system.energy_report()
+        assert report.total_instructions == 1002
+        assert report.total_energy_j > 0
+        assert report.core_energy_j > 0
+        assert len(report.cores) == 16
+
+    def test_busy_core_uses_more_energy(self):
+        system = SwallowSystem()
+        system.spawn(system.core(3), assemble("""
+            ldc r0, 5000
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """))
+        system.run()
+        report = system.energy_report()
+        by_node = {row.node_id: row for row in report.cores}
+        busy = system.core(3).node_id
+        idle = system.core(4).node_id
+        assert by_node[busy].energy_j > by_node[idle].energy_j
+
+    def test_report_renders(self):
+        system = SwallowSystem()
+        system.run_for_us(10)
+        text = system.energy_report().render()
+        assert "Energy report" in text
+        assert "mean power" in text
+
+    def test_measured_gips(self):
+        system = SwallowSystem()
+        program = assemble("""
+            ldc r0, 1000
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """)
+        for core in system.cores:
+            for _ in range(4):
+                core.spawn(program)
+        system.run()
+        # 16 cores saturated at 500 MIPS each = 8 GIPS.
+        assert system.measured_gips() == pytest.approx(8.0, rel=0.05)
+
+    def test_measurement_board_access(self):
+        system = SwallowSystem()
+        system.run_for_us(10)
+        board = system.measurement_board(0, 0)
+        assert board.sample_channel(0) > 0

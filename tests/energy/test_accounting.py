@@ -1,0 +1,131 @@
+"""Tests for the simulation-time energy ledger."""
+
+import pytest
+
+from repro.energy import EnergyAccounting, active_power_mw, idle_power_mw
+from repro.sim import Frequency, Simulator, ms, us
+from repro.xs1 import LoopbackFabric, XCore, assemble
+
+SPIN = """
+    ldc r0, {n}
+loop:
+    subi r0, r0, 1
+    bt r0, loop
+    freet
+"""
+
+
+def make_core(sim, n=1):
+    fabric = LoopbackFabric(sim)
+    return [XCore(sim, node_id=i, fabric=fabric) for i in range(n)]
+
+
+class TestCoreEnergy:
+    def test_idle_core_draws_idle_power(self):
+        sim = Simulator()
+        (core,) = make_core(sim)
+        ledger = EnergyAccounting(sim, [core], include_support=False)
+        sim.run_for(ms(1))
+        energy = ledger.core_energy_j(0)
+        expected = idle_power_mw(500) * 1e-3 * 1e-3
+        assert energy == pytest.approx(expected, rel=0.01)
+
+    def test_loaded_core_draws_active_power(self):
+        sim = Simulator()
+        (core,) = make_core(sim)
+        # Four threads saturate the pipeline (utilization 1).
+        program = assemble(SPIN.format(n=150_000))
+        for _ in range(4):
+            core.spawn(program)
+        ledger = EnergyAccounting(sim, [core], include_support=False)
+        sim.run_for(ms(1))
+        energy = ledger.core_energy_j(0)
+        expected = active_power_mw(500) * 1e-3 * 1e-3
+        assert energy == pytest.approx(expected, rel=0.02)
+
+    def test_single_thread_is_quarter_utilization(self):
+        sim = Simulator()
+        (core,) = make_core(sim)
+        core.spawn(assemble(SPIN.format(n=150_000)))
+        ledger = EnergyAccounting(sim, [core], include_support=False)
+        sim.run_for(ms(1))
+        idle = idle_power_mw(500)
+        active = active_power_mw(500)
+        expected = (idle + (active - idle) * 0.25) * 1e-6
+        assert ledger.core_energy_j(0) == pytest.approx(expected, rel=0.02)
+
+    def test_energy_monotone_in_time(self):
+        sim = Simulator()
+        (core,) = make_core(sim)
+        ledger = EnergyAccounting(sim, [core], include_support=False)
+        sim.run_for(us(100))
+        first = ledger.core_energy_j(0)
+        sim.run_for(us(100))
+        assert ledger.core_energy_j(0) > first
+
+    def test_frequency_change_closes_window(self):
+        """Idle at 500 MHz then 71 MHz must use each rate for its span."""
+        sim = Simulator()
+        (core,) = make_core(sim)
+        ledger = EnergyAccounting(sim, [core], include_support=False)
+        sim.run_for(ms(1))
+        core.set_frequency(Frequency.mhz(71))
+        sim.run_for(ms(1))
+        expected = (idle_power_mw(500) + idle_power_mw(71)) * 1e-6
+        assert ledger.core_energy_j(0) == pytest.approx(expected, rel=0.01)
+
+
+class TestSystemTotals:
+    def test_support_power_added_per_node(self):
+        sim = Simulator()
+        cores = make_core(sim, n=4)
+        ledger = EnergyAccounting(sim, cores, include_support=True)
+        sim.run_for(ms(1))
+        breakdown = ledger.breakdown_j()
+        assert breakdown["support"] == pytest.approx(56 * 4 * 1e-6, rel=0.01)
+
+    def test_mean_power_of_idle_system(self):
+        sim = Simulator()
+        cores = make_core(sim, n=2)
+        ledger = EnergyAccounting(sim, cores, include_support=False)
+        sim.run_for(ms(2))
+        assert ledger.mean_power_mw() == pytest.approx(2 * idle_power_mw(500), rel=0.01)
+
+    def test_link_energy_counted(self):
+        from repro.network.routing import Layer
+        from repro.network.topology import SwallowTopology
+        from repro.xs1 import BehavioralThread, RecvWord, SendWord
+
+        sim = Simulator()
+        topo = SwallowTopology(sim)
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        core_a = XCore(sim, a, topo.fabric)
+        core_b = XCore(sim, b, topo.fabric)
+        tx = core_a.allocate_chanend()
+        rx = core_b.allocate_chanend()
+        tx.set_dest(rx.address)
+        ledger = EnergyAccounting(sim, [core_a, core_b], fabric=topo.fabric)
+
+        def sender():
+            for i in range(10):
+                yield SendWord(tx, i)
+
+        def receiver():
+            for _ in range(10):
+                yield RecvWord(rx)
+
+        BehavioralThread(core_a, sender())
+        BehavioralThread(core_b, receiver())
+        sim.run()
+        ledger.update()
+        assert ledger.link_energy_j > 0
+        assert ledger.breakdown_j()["links"] == pytest.approx(ledger.link_energy_j)
+
+    def test_add_core_later(self):
+        sim = Simulator()
+        cores = make_core(sim, n=2)
+        ledger = EnergyAccounting(sim, [cores[0]], include_support=False)
+        ledger.add_core(cores[1])
+        sim.run_for(us(10))
+        assert ledger.core_energy_j(1) > 0

@@ -1,0 +1,98 @@
+"""Property-based tests of the energy ledger.
+
+The central invariant: energy is a pure integral of the power model over
+the run — the *schedule of observations* must not change the total.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import EnergyAccounting, active_power_mw, idle_power_mw
+from repro.sim import Frequency, Simulator, us
+from repro.xs1 import LoopbackFabric, XCore, assemble
+
+observation_schedules = st.lists(
+    st.integers(min_value=1, max_value=200), min_size=0, max_size=10
+)
+
+
+def run_with_observations(pauses_us, threads=0):
+    """Total ledger energy over 1 ms with update() calls sprinkled in."""
+    sim = Simulator()
+    core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+    if threads:
+        program = assemble("""
+            ldc r0, 200000
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """)
+        for _ in range(threads):
+            core.spawn(program)
+    ledger = EnergyAccounting(sim, [core], include_support=False)
+    elapsed = 0
+    for pause in pauses_us:
+        if elapsed + pause > 1000:
+            break
+        sim.run_for(us(pause))
+        ledger.update()            # observation must not perturb the total
+        elapsed += pause
+    sim.run_for(us(1000 - elapsed))
+    return ledger.core_energy_j(0)
+
+
+class TestObservationInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(observation_schedules)
+    def test_idle_energy_independent_of_observations(self, pauses):
+        baseline = run_with_observations([])
+        observed = run_with_observations(pauses)
+        assert observed == pytest.approx(baseline, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(observation_schedules)
+    def test_loaded_energy_independent_of_observations(self, pauses):
+        baseline = run_with_observations([], threads=4)
+        observed = run_with_observations(pauses, threads=4)
+        assert observed == pytest.approx(baseline, rel=1e-3)
+
+
+class TestBounds:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=4),
+           st.sampled_from([71, 125, 250, 500]))
+    def test_energy_between_idle_and_active_bounds(self, threads, mhz):
+        sim = Simulator()
+        core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+        core.set_frequency(Frequency.mhz(mhz))
+        if threads:
+            program = assemble("""
+                ldc r0, 1000000
+            loop:
+                subi r0, r0, 1
+                bt r0, loop
+                freet
+            """)
+            for _ in range(threads):
+                core.spawn(program)
+        ledger = EnergyAccounting(sim, [core], include_support=False)
+        sim.run_for(us(500))
+        energy = ledger.core_energy_j(0)
+        low = idle_power_mw(mhz) * 1e-3 * 500e-6
+        high = active_power_mw(mhz) * 1e-3 * 500e-6
+        assert low * 0.999 <= energy <= high * 1.001
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.3, max_value=1.0))
+    def test_voltage_scaling_is_quadratic(self, voltage):
+        def energy(v):
+            sim = Simulator()
+            core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+            core.set_voltage(v)
+            ledger = EnergyAccounting(sim, [core], include_support=False)
+            sim.run_for(us(100))
+            return ledger.core_energy_j(0)
+
+        assert energy(voltage) == pytest.approx(energy(1.0) * voltage**2, rel=1e-6)

@@ -1,0 +1,80 @@
+"""Tests for the Fig. 4 DVFS projection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy import (
+    active_power_mw,
+    dvfs_power_mw,
+    dvfs_saving_fraction,
+    figure4_series,
+    min_voltage,
+    power_at_voltage_mw,
+)
+
+frequencies = st.floats(min_value=71.0, max_value=500.0, allow_nan=False)
+
+
+class TestMinVoltage:
+    def test_anchor_points(self):
+        assert min_voltage(71) == pytest.approx(0.60)
+        assert min_voltage(500) == pytest.approx(0.95)
+
+    def test_clamps_below_71mhz(self):
+        assert min_voltage(10) == pytest.approx(0.60)
+
+    def test_rejects_overclock(self):
+        with pytest.raises(ValueError):
+            min_voltage(600)
+
+    @given(frequencies)
+    def test_monotone(self, f):
+        assert min_voltage(f) <= min_voltage(min(500.0, f + 25)) + 1e-12
+
+
+class TestScaledPower:
+    def test_quadratic_voltage_scaling(self):
+        full = power_at_voltage_mw(500, 1.0)
+        half = power_at_voltage_mw(500, 0.5)
+        assert half == pytest.approx(full / 4)
+
+    def test_500mhz_saving_is_v_squared(self):
+        # At 500 MHz, Vmin = 0.95 -> ~9.75% saving.
+        assert dvfs_saving_fraction(500) == pytest.approx(1 - 0.95**2, rel=1e-6)
+
+    def test_71mhz_saving_is_large(self):
+        # At 71 MHz, Vmin = 0.6 -> 64% saving.
+        assert dvfs_saving_fraction(71) == pytest.approx(1 - 0.36, rel=1e-6)
+
+    @given(frequencies)
+    def test_dvfs_never_exceeds_1v_power(self, f):
+        assert dvfs_power_mw(f) <= active_power_mw(f)
+
+    def test_rejects_bad_voltage(self):
+        with pytest.raises(ValueError):
+            power_at_voltage_mw(500, 0)
+
+
+class TestFigure4Series:
+    def test_row_count_and_keys(self):
+        rows = figure4_series(points=10)
+        assert len(rows) == 10
+        assert set(rows[0]) == {"f_mhz", "p_1v_mw", "p_dvfs_mw"}
+
+    def test_covers_paper_range(self):
+        """Fig. 4's y-axis runs ~20-200 mW over 71-500 MHz."""
+        rows = figure4_series()
+        assert rows[0]["f_mhz"] == pytest.approx(71.0)
+        assert rows[-1]["f_mhz"] == pytest.approx(500.0)
+        assert rows[-1]["p_1v_mw"] == pytest.approx(196, abs=1)
+        assert 20 <= rows[0]["p_dvfs_mw"] <= 30   # ~24 mW at 71 MHz
+        assert 170 <= rows[-1]["p_dvfs_mw"] <= 185
+
+    def test_dvfs_curve_below_1v_curve_everywhere(self):
+        for row in figure4_series():
+            assert row["p_dvfs_mw"] < row["p_1v_mw"]
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            figure4_series(points=1)

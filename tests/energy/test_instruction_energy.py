@@ -1,0 +1,92 @@
+"""Tests for the Kerrison-style instruction energy model."""
+
+from collections import Counter
+
+import pytest
+
+from repro.energy import InstructionEnergyModel
+from repro.xs1 import EnergyClass
+
+
+class TestDefaults:
+    def test_range_matches_paper(self):
+        """Paper §II: 1.0-2.25 nJ per instruction."""
+        low, high = InstructionEnergyModel().range_nj
+        assert low == pytest.approx(1.0)
+        assert high == pytest.approx(2.25)
+
+    def test_per_bit_range_matches_paper(self):
+        """Paper §II: 31-70 pJ per bit operated upon."""
+        low, high = InstructionEnergyModel().range_per_bit_pj
+        assert low == pytest.approx(31.25, rel=0.01)
+        assert high == pytest.approx(70.3, rel=0.01)
+
+    def test_class_ordering(self):
+        model = InstructionEnergyModel()
+        assert model.energy_of(EnergyClass.ALU) < model.energy_of(EnergyClass.MUL)
+        assert model.energy_of(EnergyClass.MUL) < model.energy_of(EnergyClass.DIV)
+        assert model.energy_of(EnergyClass.NOP) <= model.energy_of(EnergyClass.ALU)
+
+    def test_every_class_covered(self):
+        model = InstructionEnergyModel()
+        for cls in EnergyClass:
+            assert model.energy_of(cls) > 0
+
+
+class TestAccounting:
+    def test_total(self):
+        model = InstructionEnergyModel()
+        histogram = Counter({EnergyClass.ALU: 10, EnergyClass.MUL: 5})
+        expected = 10 * model.energy_of(EnergyClass.ALU) + 5 * model.energy_of(
+            EnergyClass.MUL
+        )
+        assert model.total_nj(histogram) == pytest.approx(expected)
+
+    def test_mean_of_empty_histogram(self):
+        assert InstructionEnergyModel().mean_nj(Counter()) == 0.0
+
+    def test_mean_between_bounds(self):
+        model = InstructionEnergyModel()
+        histogram = Counter({cls: 1 for cls in EnergyClass})
+        low, high = model.range_nj
+        assert low <= model.mean_nj(histogram) <= high
+
+
+class TestValidation:
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            InstructionEnergyModel(energy_nj={EnergyClass.ALU: 1.0})
+
+    def test_nonpositive_energy_rejected(self):
+        table = dict(InstructionEnergyModel().energy_nj)
+        table[EnergyClass.NOP] = 0.0
+        with pytest.raises(ValueError, match="non-positive"):
+            InstructionEnergyModel(energy_nj=table)
+
+    def test_custom_table_used(self):
+        table = {cls: 1.0 for cls in EnergyClass}
+        model = InstructionEnergyModel(energy_nj=table)
+        assert model.range_nj == (1.0, 1.0)
+
+
+class TestIntegrationWithCore:
+    def test_energy_of_real_run(self, ):
+        from repro.sim import Simulator
+        from repro.xs1 import LoopbackFabric, XCore, assemble
+
+        sim = Simulator()
+        core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+        core.spawn(assemble("""
+            ldc r0, 100
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """))
+        sim.run()
+        model = InstructionEnergyModel()
+        total = model.total_nj(core.stats.instructions)
+        count = core.stats.total_instructions
+        assert count == 202
+        low, high = model.range_nj
+        assert low * count <= total <= high * count

@@ -1,0 +1,70 @@
+"""Tests for Table I link energies."""
+
+import pytest
+
+from repro.energy import (
+    PAPER_TABLE_I_PJ_PER_BIT,
+    link_energy_joules,
+    offboard_onboard_ratio,
+    table_i,
+    traffic_energy_joules,
+)
+from repro.network.params import LINK_OFFBOARD_FFC, LINK_ON_CHIP, TABLE_I_LINKS
+
+
+class TestTableI:
+    def test_four_rows_in_paper_order(self):
+        rows = table_i()
+        assert [r.link_type for r in rows] == [
+            "on-chip", "on-board-vertical", "on-board-horizontal", "off-board-ffc",
+        ]
+
+    @pytest.mark.parametrize("row_index,expected", enumerate(
+        [5.6, 212.8, 201.6, 10880.0]
+    ))
+    def test_energy_per_bit_matches_paper(self, row_index, expected):
+        row = table_i()[row_index]
+        assert row.energy_per_bit_pj == pytest.approx(expected, rel=1e-3)
+
+    def test_data_rates_match_paper(self):
+        rows = table_i()
+        assert rows[0].data_rate_mbit == pytest.approx(250.0)
+        assert rows[1].data_rate_mbit == pytest.approx(62.5)
+
+    def test_max_powers_match_paper(self):
+        assert [r.max_power_mw for r in table_i()] == [1.4, 13.3, 12.6, 680.0]
+
+    def test_paper_reference_dict_consistent(self):
+        for row in table_i():
+            assert row.energy_per_bit_pj == pytest.approx(
+                PAPER_TABLE_I_PJ_PER_BIT[row.link_type], rel=1e-3
+            )
+
+
+class TestEnergyArithmetic:
+    def test_one_megabit_on_chip(self):
+        joules = link_energy_joules(1e6, LINK_ON_CHIP)
+        assert joules == pytest.approx(5.6e-6, rel=1e-3)
+
+    def test_offboard_factor_of_50(self):
+        """Paper: going off-board raises energy/bit by a factor of ~50."""
+        assert offboard_onboard_ratio() == pytest.approx(51.1, abs=0.5)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            link_energy_joules(-1, LINK_ON_CHIP)
+
+    def test_traffic_energy_sums_classes(self):
+        total = traffic_energy_joules({
+            "on-chip": 1e6,
+            "off-board-ffc": 1e3,
+        })
+        expected = 1e6 * 5.6e-12 + 1e3 * LINK_OFFBOARD_FFC.energy_per_bit_pj * 1e-12
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown link class"):
+            traffic_energy_joules({"wormhole-9000": 1.0})
+
+    def test_table_i_links_constant_order(self):
+        assert TABLE_I_LINKS[0] is LINK_ON_CHIP

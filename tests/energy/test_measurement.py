@@ -1,0 +1,146 @@
+"""Tests for the simulated shunt/amplifier/ADC measurement chain."""
+
+import pytest
+
+from repro.energy import (
+    Adc,
+    EnergyAccounting,
+    MeasurementBoard,
+    SamplingRateError,
+    active_power_mw,
+    build_slice_rails,
+    idle_power_mw,
+)
+from repro.sim import Simulator, ms, us
+from repro.xs1 import LoopbackFabric, XCore, assemble
+
+
+def make_slice(sim):
+    fabric = LoopbackFabric(sim)
+    cores = [XCore(sim, node_id=i, fabric=fabric) for i in range(16)]
+    ledger = EnergyAccounting(sim, cores)
+    board = MeasurementBoard(sim, ledger, build_slice_rails(cores))
+    return cores, ledger, board
+
+
+class TestAdc:
+    def test_quantization_steps(self):
+        adc = Adc(resolution_bits=12, full_scale_mw=2000.0)
+        assert adc.lsb_mw == pytest.approx(2000 / 4095)
+        assert adc.quantize(0.0) == 0.0
+        assert adc.quantize(2000.0) == 2000.0
+
+    def test_quantization_error_bounded(self):
+        adc = Adc()
+        for value in (1.0, 123.4, 777.7, 1999.0):
+            assert abs(adc.quantize(value) - value) <= adc.lsb_mw / 2 + 1e-9
+
+    def test_clamps_over_range(self):
+        adc = Adc(full_scale_mw=100.0)
+        assert adc.quantize(500.0) == 100.0
+
+
+class TestRailLayout:
+    def test_five_rails(self):
+        sim = Simulator()
+        cores, _, board = make_slice(sim)
+        assert len(board.rails) == 5
+        assert sum(1 for rail in board.rails if rail.is_io) == 1
+
+    def test_core_rails_hold_four_cores_each(self):
+        sim = Simulator()
+        cores, _, board = make_slice(sim)
+        for rail in board.rails[:4]:
+            assert len(rail.cores) == 4
+
+    def test_wrong_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_slice_rails([])
+
+
+class TestSampling:
+    def test_idle_rail_reading(self):
+        sim = Simulator()
+        cores, _, board = make_slice(sim)
+        sim.run_for(us(100))
+        reading = board.sample_channel(0)
+        assert reading == pytest.approx(4 * idle_power_mw(500), rel=0.02)
+
+    def test_loaded_rail_reads_higher(self):
+        sim = Simulator()
+        cores, _, board = make_slice(sim)
+        program = assemble("ldc r0, 200000\nloop: subi r0, r0, 1\nbt r0, loop\nfreet")
+        for core in cores[:4]:          # rail 0's cores
+            for _ in range(4):
+                core.spawn(program)
+        sim.run_for(ms(1))
+        loaded = board.sample_channel(0)
+        idle = board.sample_channel(1)
+        assert loaded > idle
+        assert loaded == pytest.approx(4 * active_power_mw(500), rel=0.02)
+
+    def test_sample_all_returns_every_rail(self):
+        sim = Simulator()
+        _, _, board = make_slice(sim)
+        sim.run_for(us(10))
+        values = board.sample_all()
+        assert len(values) == 5
+
+    def test_rate_limits_enforced(self):
+        sim = Simulator()
+        _, _, board = make_slice(sim)
+        with pytest.raises(SamplingRateError):
+            board.record_trace(0.001, rate_hz=3_000_000, channel=0)
+        with pytest.raises(SamplingRateError):
+            board.record_trace(0.001, rate_hz=1_500_000, channel=None)
+        with pytest.raises(SamplingRateError):
+            board.record_trace(0.001, rate_hz=0, channel=0)
+
+    def test_trace_recording(self):
+        sim = Simulator()
+        _, _, board = make_slice(sim)
+        trace = board.record_trace(0.0001, rate_hz=1_000_000, channel=0)
+        sim.run_for(ms(1))
+        assert len(trace) == 100
+        times, values = trace.as_arrays()
+        assert values.shape == (100, 1)
+        assert (values > 0).all()
+
+    def test_trace_energy_close_to_ledger(self):
+        sim = Simulator()
+        cores, ledger, board = make_slice(sim)
+        trace = board.record_trace(0.001, rate_hz=500_000, channel=None)
+        sim.run_for(ms(1))
+        trace_energy = trace.energy_j()
+        ledger_energy = ledger.total_energy_j()
+        assert trace_energy == pytest.approx(ledger_energy, rel=0.05)
+
+    def test_empty_trace_energy_zero(self):
+        sim = Simulator()
+        _, _, board = make_slice(sim)
+        trace = board.record_trace(0.0, rate_hz=1000, channel=0)
+        sim.run_for(us(1))
+        assert trace.energy_j() == 0.0
+
+
+class TestSelfMeasurement:
+    def test_program_reads_its_own_power(self):
+        """The paper's headline loop: a program samples the board and
+        adapts — here it simply records what it saw."""
+        from repro.xs1 import BehavioralThread, Compute, Sleep
+
+        sim = Simulator()
+        cores, _, board = make_slice(sim)
+        seen = []
+
+        def self_aware():
+            yield Compute(10_000)
+            seen.append(board.sample_channel(0))
+            yield Sleep(200_000)
+            seen.append(board.sample_channel(0))
+
+        BehavioralThread(cores[0], self_aware())
+        sim.run()
+        assert len(seen) == 2
+        # Busy sample should exceed the mostly-idle later sample.
+        assert seen[0] > seen[1]

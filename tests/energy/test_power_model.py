@@ -1,0 +1,92 @@
+"""Tests for Eq. 1, the idle model, and the Fig. 2 breakdown."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy import (
+    NodeBreakdown,
+    active_power_mw,
+    core_power_mw,
+    idle_power_mw,
+    node_power_breakdown,
+    scaled_breakdown,
+)
+
+frequencies = st.floats(min_value=71.0, max_value=500.0, allow_nan=False)
+
+
+class TestEq1:
+    def test_500mhz_loaded_is_193mw(self):
+        assert active_power_mw(500) == pytest.approx(196, abs=5)  # 46+150
+        # The paper quotes 193 mW; Eq. 1 itself evaluates to 196 mW.
+        assert active_power_mw(500) == pytest.approx(193, rel=0.03)
+
+    def test_71mhz_loaded_is_65mw(self):
+        # Paper: "ranges ... to 65 mW at 71 MHz"; Eq. 1 gives 67.3.
+        assert active_power_mw(71) == pytest.approx(65, rel=0.05)
+
+    def test_static_component(self):
+        assert active_power_mw(100) - active_power_mw(0.001) == pytest.approx(
+            30, rel=0.01
+        )
+
+    @given(frequencies)
+    def test_linear_in_frequency(self, f):
+        base = active_power_mw(f)
+        assert active_power_mw(f + 10) - base == pytest.approx(3.0, rel=1e-6)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            active_power_mw(0)
+
+
+class TestIdleModel:
+    def test_anchor_points(self):
+        assert idle_power_mw(71) == pytest.approx(50.0)
+        assert idle_power_mw(500) == pytest.approx(113.0)
+
+    @given(frequencies)
+    def test_idle_below_active(self, f):
+        assert idle_power_mw(f) < active_power_mw(f)
+
+
+class TestUtilizationInterpolation:
+    def test_bounds(self):
+        assert core_power_mw(500, 0.0) == pytest.approx(idle_power_mw(500))
+        assert core_power_mw(500, 1.0) == pytest.approx(active_power_mw(500))
+
+    @given(frequencies, st.floats(min_value=0, max_value=1, allow_nan=False))
+    def test_monotone_in_utilization(self, f, u):
+        assert core_power_mw(f, u) <= core_power_mw(f, min(1.0, u + 0.1)) + 1e-9
+
+    def test_out_of_range_utilization(self):
+        with pytest.raises(ValueError):
+            core_power_mw(500, 1.5)
+
+
+class TestFig2Breakdown:
+    def test_total_is_260mw(self):
+        assert node_power_breakdown().total_mw == pytest.approx(260.0)
+
+    def test_paper_percentages(self):
+        shares = node_power_breakdown().shares()
+        assert shares["computation_and_memory"] == pytest.approx(0.30, abs=0.01)
+        assert shares["static"] == pytest.approx(0.26, abs=0.01)
+        assert shares["network_interface"] == pytest.approx(0.22, abs=0.01)
+        assert shares["dcdc_and_io"] == pytest.approx(0.18, abs=0.01)
+
+    def test_shares_sum_to_one(self):
+        assert sum(node_power_breakdown().shares().values()) == pytest.approx(1.0)
+
+    def test_scaled_breakdown_reduces_core_terms_only(self):
+        full = node_power_breakdown()
+        scaled = scaled_breakdown(100, 1.0)
+        assert scaled.computation_and_memory < full.computation_and_memory
+        assert scaled.static < full.static
+        assert scaled.dcdc_and_io == full.dcdc_and_io
+        assert scaled.other == full.other
+
+    def test_custom_breakdown_total(self):
+        custom = NodeBreakdown(computation_and_memory=100.0)
+        assert custom.total_mw == pytest.approx(100 + 68 + 58 + 46 + 10)

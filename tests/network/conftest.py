@@ -1,0 +1,42 @@
+"""Fixtures: cores attached to a real switched Swallow topology."""
+
+import pytest
+
+from repro.network.topology import SwallowTopology
+from repro.sim import Simulator
+from repro.xs1 import XCore
+
+
+class NetworkRig:
+    """A topology plus lazily created cores, for network integration tests."""
+
+    def __init__(self, slices_x=1, slices_y=1, **topo_kwargs):
+        self.sim = Simulator()
+        self.topology = SwallowTopology(
+            self.sim, slices_x=slices_x, slices_y=slices_y, **topo_kwargs
+        )
+        self.fabric = self.topology.fabric
+        self.cores = {}
+
+    def core(self, node_id) -> XCore:
+        if node_id not in self.cores:
+            self.cores[node_id] = XCore(self.sim, node_id, self.fabric)
+        return self.cores[node_id]
+
+    def channel(self, src_node, dst_node):
+        """An allocated, destination-set chanend pair between two nodes."""
+        tx = self.core(src_node).allocate_chanend()
+        rx = self.core(dst_node).allocate_chanend()
+        tx.set_dest(rx.address)
+        rx.set_dest(tx.address)
+        return tx, rx
+
+
+@pytest.fixture
+def rig():
+    return NetworkRig()
+
+
+@pytest.fixture
+def make_rig():
+    return NetworkRig

@@ -1,0 +1,133 @@
+"""Tests for link failures and software routing tables (§IV-B / §V.A)."""
+
+import pytest
+
+from repro.network.routing import Layer, RoutingError
+from repro.network.token import CT_END
+from repro.network.topology import SwallowTopology
+from repro.sim import Simulator
+from repro.xs1 import BehavioralThread, CheckCt, RecvWord, SendCt, SendWord, XCore
+
+
+def build():
+    sim = Simulator()
+    topo = SwallowTopology(sim)
+    return sim, topo
+
+
+def transfer(sim, topo, src, dst, value=0xABCD):
+    core_a = XCore(sim, src, topo.fabric)
+    core_b = XCore(sim, dst, topo.fabric)
+    tx = core_a.allocate_chanend()
+    rx = core_b.allocate_chanend()
+    tx.set_dest(rx.address)
+    got = []
+
+    def sender():
+        yield SendWord(tx, value)
+        yield SendCt(tx, CT_END)
+
+    def receiver():
+        got.append((yield RecvWord(rx)))
+        yield CheckCt(rx, CT_END)
+
+    BehavioralThread(core_a, sender())
+    BehavioralThread(core_b, receiver())
+    sim.run()
+    return got
+
+
+class TestFailLink:
+    def test_fail_marks_both_halves(self):
+        sim, topo = build()
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        record = topo.fabric.fail_link(a, b)
+        assert record.forward.failed and record.backward.failed
+        assert not record.healthy
+
+    def test_unknown_pair_rejected(self):
+        sim, topo = build()
+        with pytest.raises(RoutingError, match="no link"):
+            topo.fabric.fail_link(0, 15)   # not adjacent
+
+    def test_index_out_of_range(self):
+        sim, topo = build()
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        with pytest.raises(RoutingError, match="only 1"):
+            topo.fabric.fail_link(a, b, index=1)
+
+    def test_failed_internal_link_excluded_from_aggregation(self):
+        sim, topo = build()
+        package = topo.packages[(0, 0)]
+        topo.fabric.fail_link(package.vertical_node, package.horizontal_node)
+        # The remaining three internal links still carry traffic.
+        got = transfer(sim, topo, package.vertical_node, package.horizontal_node)
+        assert got == [0xABCD]
+
+
+class TestTableRouting:
+    def test_tables_match_dimension_order_when_healthy(self):
+        """On a healthy lattice, table routes still deliver everything."""
+        sim, topo = build()
+        topo.fabric.use_table_routing()
+        src = topo.node_at(0, 0, Layer.HORIZONTAL)
+        dst = topo.node_at(3, 1, Layer.VERTICAL)
+        assert transfer(sim, topo, src, dst) == [0xABCD]
+
+    def test_reroute_around_failed_vertical_link(self):
+        """Kill the only direct N-S link on a column; table routing finds
+        the detour; coordinate routing would strand the message."""
+        sim, topo = build()
+        a = topo.node_at(2, 0, Layer.VERTICAL)
+        b = topo.node_at(2, 1, Layer.VERTICAL)
+        topo.fabric.fail_link(a, b)
+        topo.fabric.use_table_routing()
+        assert transfer(sim, topo, a, b) == [0xABCD]
+
+    def test_unreachable_destination_raises(self):
+        """Sever every link to a node: routing reports it, not a hang."""
+        sim, topo = build()
+        package = topo.packages[(0, 0)]
+        v, h = package.vertical_node, package.horizontal_node
+        for index in range(4):
+            topo.fabric.fail_link(v, h, index=index)
+        south = topo.node_at(0, 1, Layer.VERTICAL)
+        topo.fabric.fail_link(v, south)
+        topo.fabric.use_table_routing()
+        with pytest.raises(RoutingError, match="no healthy route"):
+            transfer(sim, topo, topo.node_at(1, 0, Layer.VERTICAL), v)
+
+    def test_tables_recompute_on_later_failures(self):
+        sim, topo = build()
+        topo.fabric.use_table_routing()
+        a = topo.node_at(1, 0, Layer.VERTICAL)
+        b = topo.node_at(1, 1, Layer.VERTICAL)
+        before = dict(topo.fabric.routing_tables[a])
+        topo.fabric.fail_link(a, b)
+        after = topo.fabric.routing_tables[a]
+        assert before[b] != after[b]   # detour direction differs
+        assert transfer(sim, topo, a, b) == [0xABCD]
+
+    def test_return_to_coordinate_routing(self):
+        sim, topo = build()
+        topo.fabric.use_table_routing()
+        topo.fabric.use_coordinate_routing()
+        assert topo.fabric.routing_tables is None
+        src = topo.node_at(0, 0, Layer.VERTICAL)
+        dst = topo.node_at(1, 1, Layer.HORIZONTAL)
+        assert transfer(sim, topo, src, dst) == [0xABCD]
+
+    def test_full_traffic_on_degraded_lattice(self):
+        """Bit-complement still completes with a failed board link."""
+        from repro.network.traffic import TrafficRun, bit_complement_pairs
+
+        sim, topo = build()
+        a = topo.node_at(1, 0, Layer.VERTICAL)
+        b = topo.node_at(1, 1, Layer.VERTICAL)
+        topo.fabric.fail_link(a, b)
+        topo.fabric.use_table_routing()
+        run = TrafficRun(topo, bit_complement_pairs(topo), packets=2).start()
+        sim.run()
+        assert run.stats.complete

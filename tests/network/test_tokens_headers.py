@@ -1,0 +1,92 @@
+"""Unit tests for tokens, words, and route headers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.header import CHANEND_TYPE, ChanendAddress
+from repro.network.token import (
+    CT_END,
+    HEADER_TOKENS,
+    Token,
+    control_token,
+    data_token,
+    tokens_to_word,
+    word_to_tokens,
+)
+
+u32s = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestToken:
+    def test_data_token_masks_low_byte(self):
+        assert data_token(0x1FF).value == 0xFF
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Token(256)
+        with pytest.raises(ValueError):
+            Token(-1)
+
+    def test_end_detection(self):
+        assert control_token(CT_END).is_end
+        assert not data_token(CT_END).is_end
+        assert not control_token(0x03).is_end
+
+    def test_str_forms(self):
+        assert str(data_token(0x2A)) == "DT:2a"
+        assert str(control_token(1)) == "CT:01"
+
+    @given(u32s)
+    def test_word_roundtrip(self, word):
+        assert tokens_to_word(word_to_tokens(word)) == word
+
+    def test_word_is_msb_first(self):
+        tokens = word_to_tokens(0x01020304)
+        assert [t.value for t in tokens] == [1, 2, 3, 4]
+
+    def test_tokens_to_word_validates(self):
+        with pytest.raises(ValueError):
+            tokens_to_word([data_token(1)] * 3)
+        with pytest.raises(ValueError):
+            tokens_to_word([data_token(1)] * 3 + [control_token(1)])
+
+
+class TestChanendAddress:
+    def test_encode_layout(self):
+        address = ChanendAddress(node=0x1234, index=0x56)
+        assert address.encode() == 0x1234_5602
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFF))
+    def test_encode_decode_roundtrip(self, node, index):
+        address = ChanendAddress(node, index)
+        assert ChanendAddress.decode(address.encode()) == address
+
+    def test_decode_rejects_wrong_type(self):
+        with pytest.raises(ValueError):
+            ChanendAddress.decode(0x1234_5601)   # type 1 = timer
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            ChanendAddress(node=0x1_0000, index=0)
+        with pytest.raises(ValueError):
+            ChanendAddress(node=0, index=256)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFF))
+    def test_header_roundtrip(self, node, index):
+        address = ChanendAddress(node, index)
+        tokens = address.header_tokens()
+        assert len(tokens) == HEADER_TOKENS
+        assert ChanendAddress.from_header(tokens) == address
+
+    def test_from_header_validates_length(self):
+        with pytest.raises(ValueError):
+            ChanendAddress.from_header([data_token(1)])
+
+    def test_str(self):
+        assert str(ChanendAddress(3, 7)) == "n3:c7"
+
+    def test_type_constant(self):
+        assert CHANEND_TYPE == 2

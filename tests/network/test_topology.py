@@ -1,0 +1,128 @@
+"""Structural tests for packages, slices and grids (Figs. 5-7)."""
+
+import pytest
+
+from repro.network.params import (
+    LINK_BOARD_HORIZONTAL,
+    LINK_BOARD_VERTICAL,
+    LINK_OFFBOARD_FFC,
+    LINK_ON_CHIP,
+)
+from repro.network.routing import Layer
+from repro.network.topology import (
+    CORES_PER_SLICE,
+    SLICE_EDGE_PORTS,
+    SLICE_OFFBOARD_LINKS,
+    SwallowTopology,
+)
+from repro.sim import Simulator
+
+
+def build(slices_x=1, slices_y=1):
+    return SwallowTopology(Simulator(), slices_x=slices_x, slices_y=slices_y)
+
+
+class TestSlice:
+    def test_sixteen_cores_per_slice(self):
+        assert build().num_nodes == 16
+        assert CORES_PER_SLICE == 16
+
+    def test_eight_packages(self):
+        assert len(build().packages) == 8
+
+    def test_paper_offboard_link_count(self):
+        """Ten off-board links after two Ethernet reservations (paper)."""
+        assert SLICE_EDGE_PORTS == 12
+        assert SLICE_OFFBOARD_LINKS == 10
+
+    def test_each_package_has_one_node_per_layer(self):
+        topo = build()
+        for package in topo.packages.values():
+            assert topo.coord_of(package.vertical_node).layer is Layer.VERTICAL
+            assert topo.coord_of(package.horizontal_node).layer is Layer.HORIZONTAL
+
+    def test_internal_links_are_on_chip_class_and_quadruple(self):
+        topo = build()
+        graph = topo.graph()
+        package = topo.packages[(0, 0)]
+        edges = graph.get_edge_data(package.vertical_node, package.horizontal_node)
+        assert len(edges) == 4
+        assert all(e["spec"] is LINK_ON_CHIP for e in edges.values())
+
+    def test_board_links_use_board_classes(self):
+        topo = build()
+        graph = topo.graph()
+        specs = {data["spec"].name for _, _, data in graph.edges(data=True)}
+        assert LINK_BOARD_VERTICAL.name in specs
+        assert LINK_BOARD_HORIZONTAL.name in specs
+        assert LINK_OFFBOARD_FFC.name not in specs  # single slice: no cables
+
+    def test_single_slice_link_counts(self):
+        """8 packages x 4 internal + 4 vertical + 6 horizontal PCB links."""
+        graph = build().graph()
+        by_class = {}
+        for _, _, data in graph.edges(data=True):
+            by_class[data["spec"].name] = by_class.get(data["spec"].name, 0) + 1
+        assert by_class[LINK_ON_CHIP.name] == 32
+        assert by_class[LINK_BOARD_VERTICAL.name] == 4   # 4 columns x 1 gap
+        assert by_class[LINK_BOARD_HORIZONTAL.name] == 6  # 2 rows x 3 gaps
+
+
+class TestGrid:
+    def test_grid_core_count(self):
+        assert build(2, 2).num_nodes == 64
+        assert build(1, 8).num_nodes == 128  # the Fig. 1 stack
+
+    def test_480_core_system_size(self):
+        """The largest demonstrated machine: 30 slices = 480 cores."""
+        topo = build(5, 6)
+        assert topo.num_slices == 30
+        assert topo.num_nodes == 480
+
+    def test_interslice_links_are_ffc(self):
+        topo = build(2, 1)
+        graph = topo.graph()
+        ffc = [
+            (u, v) for u, v, d in graph.edges(data=True)
+            if d["spec"] is LINK_OFFBOARD_FFC
+        ]
+        # 2 rows of packages cross the slice boundary on the horizontal layer.
+        assert len(ffc) == 2
+        for u, v in ffc:
+            assert topo.slice_of(u) != topo.slice_of(v)
+
+    def test_vertical_interslice_links(self):
+        topo = build(1, 2)
+        graph = topo.graph()
+        ffc = [
+            (u, v) for u, v, d in graph.edges(data=True)
+            if d["spec"] is LINK_OFFBOARD_FFC
+        ]
+        assert len(ffc) == 4  # 4 columns cross the boundary on the V layer
+
+    def test_slice_membership(self):
+        topo = build(2, 2)
+        for sx in range(2):
+            for sy in range(2):
+                assert len(topo.nodes_in_slice(sx, sy)) == 16
+
+    def test_graph_is_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(build(2, 2).graph())
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            build(0, 1)
+
+
+class TestNodeLookup:
+    def test_node_at_roundtrip(self):
+        topo = build()
+        for node in topo.node_ids():
+            coord = topo.coord_of(node)
+            assert topo.node_at(coord.x, coord.y, coord.layer) == node
+
+    def test_node_ids_contiguous(self):
+        topo = build()
+        assert topo.node_ids() == list(range(16))

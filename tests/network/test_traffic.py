@@ -1,0 +1,114 @@
+"""Tests for the synthetic traffic generators."""
+
+import pytest
+
+from repro.network.topology import SwallowTopology
+from repro.network.traffic import (
+    TrafficRun,
+    bit_complement_pairs,
+    hotspot_pairs,
+    neighbour_pairs,
+    uniform_random_pairs,
+)
+from repro.sim import Simulator
+
+
+def topo(**kwargs):
+    return SwallowTopology(Simulator(), **kwargs)
+
+
+class TestPairGenerators:
+    def test_uniform_random_deterministic(self):
+        nodes = list(range(16))
+        assert uniform_random_pairs(nodes, 10, seed=1) == uniform_random_pairs(
+            nodes, 10, seed=1
+        )
+
+    def test_uniform_random_no_self_traffic(self):
+        pairs = uniform_random_pairs(list(range(16)), 50, seed=2)
+        assert all(src != dst for src, dst in pairs)
+
+    def test_bit_complement_is_involution(self):
+        topology = topo()
+        pairs = dict(bit_complement_pairs(topology))
+        for src, dst in pairs.items():
+            assert pairs[dst] == src
+
+    def test_bit_complement_crosses_bisection(self):
+        topology = topo()
+        crossing = sum(
+            1
+            for src, dst in bit_complement_pairs(topology)
+            if (topology.coord_of(src).y < 1) != (topology.coord_of(dst).y < 1)
+        )
+        assert crossing == len(bit_complement_pairs(topology))
+
+    def test_hotspot_targets_one_node(self):
+        pairs = hotspot_pairs(list(range(16)), hotspot=5, count=6, seed=3)
+        assert all(dst == 5 for _, dst in pairs)
+        assert all(src != 5 for src, _ in pairs)
+
+    def test_neighbour_pairs_are_in_package(self):
+        topology = topo()
+        for src, dst in neighbour_pairs(topology):
+            a, b = topology.coord_of(src), topology.coord_of(dst)
+            assert (a.x, a.y) == (b.x, b.y)
+            assert a.layer is not b.layer
+
+
+class TestTrafficRun:
+    def test_all_packets_delivered(self):
+        topology = topo()
+        pairs = neighbour_pairs(topology)
+        run = TrafficRun(topology, pairs, packets=3).start()
+        topology.sim.run()
+        assert run.stats.complete
+        assert run.stats.received == 3 * len(pairs)
+
+    def test_latencies_recorded(self):
+        topology = topo()
+        run = TrafficRun(topology, [(0, 15)], packets=4).start()
+        topology.sim.run()
+        assert len(run.stats.latencies_ps) == 4
+        assert run.stats.mean_latency_ps > 0
+        assert run.stats.p99_latency_ps >= run.stats.mean_latency_ps * 0.5
+
+    def test_uniform_random_run(self):
+        topology = topo()
+        pairs = uniform_random_pairs(topology.node_ids(), 5, seed=11)
+        run = TrafficRun(topology, pairs, packets=2).start()
+        topology.sim.run()
+        assert run.stats.complete
+
+    def test_hotspot_congestion_raises_latency(self):
+        def mean_latency(pairs):
+            topology = topo()
+            run = TrafficRun(topology, pairs, packets=3, gap_instructions=0).start()
+            topology.sim.run()
+            assert run.stats.complete
+            return run.stats.mean_latency_ps
+
+        light = mean_latency([(0, 15)])
+        heavy = mean_latency(hotspot_pairs(list(range(16)), hotspot=15, count=5, seed=7))
+        assert heavy > light
+
+    def test_deterministic_runs(self):
+        def digest():
+            topology = topo()
+            pairs = uniform_random_pairs(topology.node_ids(), 6, seed=42)
+            run = TrafficRun(topology, pairs, packets=2).start()
+            topology.sim.run()
+            return tuple(run.stats.latencies_ps), topology.sim.now
+
+        assert digest() == digest()
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficRun(topo(), [])
+
+    def test_bit_complement_full_lattice(self):
+        topology = topo()
+        pairs = bit_complement_pairs(topology)
+        run = TrafficRun(topology, pairs, packets=2).start()
+        topology.sim.run()
+        assert run.stats.complete

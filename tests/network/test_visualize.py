@@ -1,0 +1,60 @@
+"""Tests for the ASCII topology renderer."""
+
+from repro.network.routing import Layer
+from repro.network.topology import SwallowTopology
+from repro.network.visualize import render_summary, render_topology
+from repro.sim import Simulator
+
+
+def build(sx=1, sy=1):
+    return SwallowTopology(Simulator(), slices_x=sx, slices_y=sy)
+
+
+class TestRenderTopology:
+    def test_single_slice_draws_all_packages(self):
+        text = render_topology(build())
+        for node in range(0, 16, 2):
+            assert f"{node:>3}/{node + 1:<3}" in text
+
+    def test_on_board_links_drawn(self):
+        text = render_topology(build())
+        assert "--" in text   # horizontal links
+        assert "|" in text    # vertical links
+        assert "‖" not in text.splitlines()[0]  # no FFC in one slice
+
+    def test_interslice_links_marked_ffc(self):
+        text = render_topology(build(2, 2))
+        assert "==" in text   # horizontal FFC
+        assert "‖" in text    # vertical FFC
+
+    def test_failed_link_marked(self):
+        topo = build()
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        topo.fabric.fail_link(a, b)
+        assert "x" in render_topology(topo)
+
+    def test_legend_present(self):
+        assert "failed" in render_topology(build())
+
+
+class TestRenderSummary:
+    def test_counts(self):
+        summary = render_summary(build())
+        assert "16 cores" in summary
+        assert "8 packages" in summary
+        assert "32 on-chip" in summary
+
+    def test_failed_links_reported(self):
+        topo = build()
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        topo.fabric.fail_link(a, b)
+        assert "1 failed link pair" in render_summary(topo)
+
+    def test_cli_topology(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "16 cores" in out

@@ -1,0 +1,192 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Process, SimulationError, Simulator, ns
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0
+
+    def test_event_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(10), lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [ns(10)]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(ns(30), lambda: order.append("c"))
+        sim.schedule(ns(10), lambda: order.append("a"))
+        sim.schedule(ns(20), lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(ns(10), lambda: order.append("first"))
+        sim.schedule(ns(10), lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(ns(10), lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(ns(5), lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(ns(5), lambda: times.append(sim.now))
+
+        sim.schedule(ns(10), first)
+        sim.run()
+        assert times == [ns(10), ns(15)]
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(ns(i), lambda: None)
+        assert sim.run() == 5
+        assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(ns(10), lambda: fired.append(True))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(ns(10), lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.run() == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(ns(10), lambda: None)
+        handle = sim.schedule(ns(20), lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(10), lambda: fired.append(10))
+        sim.schedule(ns(30), lambda: fired.append(30))
+        sim.run_until(ns(20))
+        assert fired == [10]
+        assert sim.now == ns(20)
+
+    def test_run_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(20), lambda: fired.append(20))
+        sim.run_until(ns(20))
+        assert fired == [20]
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_for(ns(100))
+        assert sim.now == ns(100)
+        sim.run_for(ns(100))
+        assert sim.now == ns(200)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(ns(100))
+        with pytest.raises(SimulationError):
+            sim.run_until(ns(50))
+
+    def test_remaining_events_fire_on_later_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(30), lambda: fired.append(30))
+        sim.run_until(ns(10))
+        sim.run()
+        assert fired == [30]
+
+
+class TestProcess:
+    def test_process_advances_time(self):
+        sim = Simulator()
+        times = []
+
+        def body():
+            times.append(sim.now)
+            yield ns(100)
+            times.append(sim.now)
+            yield ns(50)
+            times.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert times == [0, ns(100), ns(150)]
+
+    def test_process_finishes(self):
+        sim = Simulator()
+
+        def body():
+            yield ns(1)
+
+        proc = Process(sim, body())
+        sim.run()
+        assert proc.finished
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield "not a delay"
+
+        Process(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def maker(name, step):
+            def body():
+                for _ in range(3):
+                    log.append((sim.now, name))
+                    yield step
+            return body
+
+        Process(sim, maker("a", ns(10))())
+        Process(sim, maker("b", ns(15))())
+        sim.run()
+        assert log == [
+            (0, "a"), (0, "b"),
+            (ns(10), "a"), (ns(15), "b"),
+            (ns(20), "a"), (ns(30), "b"),
+        ]

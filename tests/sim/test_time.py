@@ -1,0 +1,76 @@
+"""Tests for the time/frequency primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import F_500MHZ, Frequency, ms, ns, seconds, to_ns, to_seconds, us
+
+
+class TestConversions:
+    def test_ns_is_thousand_ps(self):
+        assert ns(1) == 1_000
+
+    def test_us_is_million_ps(self):
+        assert us(1) == 1_000_000
+
+    def test_ms(self):
+        assert ms(2) == 2_000_000_000
+
+    def test_seconds(self):
+        assert seconds(1) == 10**12
+
+    def test_fractional_ns_rounds(self):
+        assert ns(1.5) == 1_500
+        assert ns(0.0004) == 0  # sub-ps rounds to zero
+
+    def test_roundtrip_ns(self):
+        assert to_ns(ns(270)) == 270.0
+
+    def test_roundtrip_seconds(self):
+        assert to_seconds(seconds(3)) == 3.0
+
+
+class TestFrequency:
+    def test_500mhz_period_exact(self):
+        assert F_500MHZ.period_ps == 2_000
+
+    def test_250mhz_period_exact(self):
+        assert Frequency.mhz(250).period_ps == 4_000
+
+    def test_mhz_constructor(self):
+        assert Frequency.mhz(500).hz == 500_000_000
+
+    def test_megahertz_property(self):
+        assert Frequency.mhz(71).megahertz == 71.0
+
+    def test_cycles_to_ps(self):
+        assert F_500MHZ.cycles_to_ps(3) == 6_000  # paper: 3 cycles = 6 ns
+
+    def test_ps_to_cycles(self):
+        assert F_500MHZ.ps_to_cycles(6_000) == 3
+        assert F_500MHZ.ps_to_cycles(6_500) == 3  # truncates
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Frequency(0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Frequency(-1)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            F_500MHZ.cycles_to_ps(-1)
+
+    def test_str(self):
+        assert str(F_500MHZ) == "500 MHz"
+
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=0, max_value=10**6))
+    def test_cycles_roundtrip(self, hz, cycles):
+        freq = Frequency(hz)
+        assert freq.ps_to_cycles(freq.cycles_to_ps(cycles)) == cycles
+
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_period_positive(self, mhz):
+        assert Frequency.mhz(mhz).period_ps >= 1

@@ -1,0 +1,51 @@
+"""Smoke tests: every example must run to completion and produce its
+advertised output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / f"{name}.py"), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "dot product on core 0: 120" in out
+        assert "[0, 1, 4, 9]" in out
+        assert "Energy report" in out
+
+    def test_energy_aware_pipeline(self, capsys):
+        out = run_example("energy_aware_pipeline", capsys)
+        for placement in ("same-core", "same-package", "same-slice", "cross-slice"):
+            assert placement in out
+
+    def test_self_measuring_governor(self, capsys):
+        out = run_example("self_measuring_governor", capsys)
+        assert "over budget" in out
+        assert "adjustments" in out
+
+    def test_dvfs_exploration(self, capsys):
+        out = run_example("dvfs_exploration", capsys)
+        assert "P = (46.0 + 0.300 f) mW" in out
+
+    def test_ethernet_boot_and_stream(self, capsys):
+        out = run_example("ethernet_boot_and_stream", capsys)
+        assert "host received 12 result words" in out
+
+    def test_network_characterization(self, capsys):
+        out = run_example("network_characterization", capsys)
+        assert "bit-complement" in out
+        assert "E/C =   512" in out
+
+    def test_event_driven_server(self, capsys):
+        out = run_example("event_driven_server", capsys)
+        assert "server handled 8 requests" in out
+        assert "sum 10 (expect 10)" in out

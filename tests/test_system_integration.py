@@ -1,0 +1,113 @@
+"""Whole-system integration: everything at once, invariants throughout.
+
+A 2x1-slice machine with Ethernet bridges runs a mixed workload —
+assembly kernels, behavioural pipelines, a farm, the power governor,
+ADC tracing, host streaming — and the global invariants must hold:
+all work completes, energy is conserved and attributable, the network
+quiesces, and the whole thing replays deterministically.
+"""
+
+import pytest
+
+from repro import (
+    Compute,
+    Placement,
+    SendCt,
+    SendWord,
+    SetDest,
+    SwallowSystem,
+    build_pipeline,
+    build_task_farm,
+    place,
+)
+from repro.apps.kernels import dot_product, run_kernel
+from repro.core import NanoOS, PowerGovernor, attribute_to_threads
+from repro.network.token import CT_END
+
+
+def build_and_run():
+    system = SwallowSystem(slices_x=2, ethernet_columns=(0, 7))
+    bridge_in, bridge_out = system.bridges
+
+    # 1. Assembly kernel on core 0.
+    kernel = dot_product(8)
+    kernel.load_inputs(system.core(0), list(range(8)), list(range(8)))
+    system.core(0).spawn(kernel.program)
+
+    # 2. A pipeline across one package.
+    machine = system.machine
+    pipeline_cores = place(machine, 4, Placement.SAME_PACKAGE)
+    pipeline = build_pipeline(pipeline_cores, items=10, compute_per_stage=30)
+
+    # 3. A task farm across the second slice.
+    farm_cores = machine.slice_board(1, 0).cores
+    farm = build_task_farm(farm_cores[0], farm_cores[1:4], items=9,
+                           compute_per_item=50)
+
+    # 4. nOS tasks booted over Ethernet, streaming results to the host.
+    nos = NanoOS(system, bridge=bridge_in)
+
+    def make_task(task_id):
+        def factory(core):
+            def body():
+                tx = core.allocate_chanend()
+                yield SetDest(tx, bridge_out.endpoint(task_id % 4))
+                yield Compute(100)
+                yield SendWord(tx, 0x1000 + task_id)
+                yield SendCt(tx, CT_END)
+            return body()
+        return factory
+
+    handles = [nos.submit(make_task(i)) for i in range(4)]
+
+    # 5. Governor watching slice 0's rail 0, ADC trace in parallel.
+    board = system.measurement_board(0, 0)
+    governor = PowerGovernor(board, channel=0, budget_mw=900, period_cycles=50_000)
+    governor.install(system.core(12), iterations=5)
+    trace = board.record_trace(duration_s=0.0005, rate_hz=200_000, channel=1)
+
+    system.run_for_us(2_000)
+    return system, kernel, pipeline, farm, handles, trace, bridge_out
+
+
+class TestSystemIntegration:
+    def test_everything_completes_and_balances(self):
+        system, kernel, pipeline, farm, handles, trace, bridge_out = build_and_run()
+        # All workloads finished.
+        assert kernel.read_output(system.core(0))[0] == sum(i * i for i in range(8))
+        assert pipeline.complete
+        assert farm.complete
+        assert all(handle.done for handle in handles)
+        # Host received every streamed word.
+        values = sorted(w.value for w in bridge_out.host_receive())
+        assert values == [0x1000, 0x1001, 0x1002, 0x1003]
+        # ADC trace recorded at the requested rate.
+        assert len(trace) == 100
+        # The network has quiesced (packet mode closed all routes).
+        assert system.topology.fabric.total_routes_open == 0
+        # Energy ledger is self-consistent and attributable.
+        report = system.energy_report()
+        assert report.total_energy_j > 0
+        rows = attribute_to_threads(system)
+        attributed = sum(r.energy_j for r in rows)
+        assert attributed == pytest.approx(report.core_energy_j, rel=1e-6)
+        # Mean machine power is plausible: between all-idle and all-max.
+        idle_floor = 32 * 113 * 1e-3 * 0.9
+        max_ceiling = 32 * 260 * 1e-3 * 1.2
+        assert idle_floor <= report.mean_power_w <= max_ceiling
+
+    def test_full_scenario_is_deterministic(self):
+        def digest():
+            system, kernel, pipeline, farm, handles, trace, bridge_out = (
+                build_and_run()
+            )
+            return (
+                system.sim.now,
+                system.sim.events_processed,
+                tuple(pipeline.outputs),
+                tuple(sorted(farm.outputs)),
+                round(system.energy_report().total_energy_j, 15),
+                tuple(tuple(v) for v in trace.values_mw),
+            )
+
+        assert digest() == digest()

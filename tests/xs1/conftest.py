@@ -1,0 +1,34 @@
+"""Shared fixtures for XS1 model tests."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.xs1 import LoopbackFabric, XCore
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    return LoopbackFabric(sim)
+
+
+@pytest.fixture
+def core(sim, fabric):
+    return XCore(sim, node_id=0, fabric=fabric)
+
+
+@pytest.fixture
+def make_core(sim, fabric):
+    """Factory for extra cores sharing the same loopback fabric."""
+    counter = {"next": 1}
+
+    def build(**kwargs):
+        node_id = kwargs.pop("node_id", counter["next"])
+        counter["next"] = max(counter["next"], node_id) + 1
+        return XCore(sim, node_id=node_id, fabric=fabric, **kwargs)
+
+    return build

@@ -1,0 +1,147 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.xs1 import AssemblerError, assemble
+
+
+class TestBasicAssembly:
+    def test_empty_program(self):
+        assert len(assemble("")) == 0
+
+    def test_single_instruction(self):
+        program = assemble("ldc r0, 5")
+        assert len(program) == 1
+        assert program.instructions[0].mnemonic == "ldc"
+        assert program.instructions[0].args == (0, 5)
+
+    def test_comments_ignored(self):
+        program = assemble("""
+        # hash comment
+        ldc r0, 1   ; trailing comment
+        ; whole-line comment
+        """)
+        assert len(program) == 1
+
+    def test_registers_parse(self):
+        program = assemble("add r11, sp, lr")
+        assert program.instructions[0].args == (11, 14, 15)
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("ldc r0, 0xff\nldc r1, -1")
+        assert program.instructions[0].args == (0, 0xFF)
+        assert program.instructions[1].args == (1, -1)
+
+    def test_char_immediate(self):
+        program = assemble("ldc r0, 'A'")
+        assert program.instructions[0].args == (0, 65)
+
+
+class TestLabels:
+    def test_label_resolves_to_index(self):
+        program = assemble("""
+        start:
+            ldc r0, 3
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+        """)
+        assert program.labels == {"start": 0, "loop": 1}
+        assert program.instructions[2].args == (0, 1)
+
+    def test_forward_reference(self):
+        program = assemble("""
+            bu end
+            nop
+        end:
+            freet
+        """)
+        assert program.instructions[0].args == (2,)
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("here: nop")
+        assert program.labels["here"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown label"):
+            assemble("bu nowhere")
+
+    def test_entry_defaults(self):
+        program = assemble("nop\nstart: freet")
+        assert program.entry() == 1
+        assert program.entry("start") == 1
+
+    def test_entry_missing_start_is_zero(self):
+        assert assemble("nop").entry() == 0
+
+    def test_entry_unknown_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("nop").entry("other")
+
+
+class TestDirectives:
+    def test_equ_constant(self):
+        program = assemble(".equ N, 42\nldc r0, N")
+        assert program.instructions[0].args == (0, 42)
+        assert program.constants["N"] == 42
+
+    def test_data_words(self):
+        program = assemble(".data 0x100\n.word 1, 2")
+        assert program.data_blocks == [(0x100, (1).to_bytes(4, "little") + (2).to_bytes(4, "little"))]
+
+    def test_space(self):
+        program = assemble(".data 0\n.space 8\n.word 7")
+        address, data = program.data_blocks[0]
+        assert address == 0
+        assert data[:8] == bytes(8)
+        assert data[8:12] == (7).to_bytes(4, "little")
+
+    def test_word_without_data_rejected(self):
+        with pytest.raises(AssemblerError, match=".word before"):
+            assemble(".word 1")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bogus 1")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r0")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add r0, r1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="unknown register"):
+            assemble("mov r0, r99")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError, match="cannot parse"):
+            assemble("ldc r0, banana")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus_op r1")
+
+
+class TestDisassembly:
+    def test_roundtrip_readable(self):
+        source = """
+        start:
+            ldc r0, 10
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """
+        listing = assemble(source).disassemble()
+        assert "start:" in listing
+        assert "ldc r0, 10" in listing
+        assert "freet" in listing

@@ -1,0 +1,270 @@
+"""Tests for the XS1 event system (setv/eeu/edu/clre/waiteu/tsetafter)."""
+
+import pytest
+
+from repro.sim import Simulator, to_us, us
+from repro.xs1 import LoopbackFabric, TrapError, XCore, assemble
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def core(sim):
+    return XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+
+
+class TestChanendEvents:
+    def test_event_dispatches_to_vector(self, sim, core):
+        """A thread waits on a chanend event; a peer's token wakes it at
+        the vector."""
+        waiter = assemble("""
+            getr r0, 2
+            ldc r1, 0x100
+            stw r0, r1, 0          # publish chanend id
+            setv r0, got_data
+            eeu r0
+            waiteu
+            freet                  # never reached directly
+        got_data:
+            intt r2, r0
+            ldc r3, 0x200
+            stw r2, r3, 0
+            freet
+        """)
+        sender = assemble("""
+            getr r0, 2
+            ldc r1, 0x100
+        wait:
+            ldw r2, r1, 0
+            bf r2, wait
+            setd r0, r2
+            ldc r3, 0x7E
+            outt r0, r3
+            freet
+        """)
+        core.spawn(waiter)
+        core.spawn(sender)
+        sim.run()
+        assert core.all_halted
+        assert core.memory.load_word(0x200) == 0x7E
+
+    def test_ready_event_fires_immediately(self, sim, core):
+        """If data is already buffered, waiteu dispatches without pausing."""
+        program = assemble("""
+            getr r0, 2
+            getr r1, 2
+            setd r0, r1
+            ldc r2, 0x55
+            outt r0, r2            # data sits in r1's buffer
+            setv r1, handler
+            eeu r1
+            ldc r3, 3000
+        spin:                      # let the token actually arrive
+            subi r3, r3, 1
+            bt r3, spin
+            waiteu
+            freet
+        handler:
+            intt r4, r1
+            ldc r5, 0x300
+            stw r4, r5, 0
+            freet
+        """)
+        core.spawn(program)
+        sim.run()
+        assert core.all_halted
+        assert core.memory.load_word(0x300) == 0x55
+
+    def test_select_between_two_channels(self, sim, core):
+        """The classic select: two chanends, distinct vectors."""
+        selector = assemble("""
+            getr r0, 2             # channel A
+            getr r1, 2             # channel B
+            ldc r2, 0x100
+            stw r0, r2, 0
+            stw r1, r2, 1
+            setv r0, handle_a
+            setv r1, handle_b
+            eeu r0
+            eeu r1
+            waiteu
+            freet
+        handle_a:
+            intt r3, r0
+            ldc r4, 0x200
+            stw r3, r4, 0
+            freet
+        handle_b:
+            intt r3, r1
+            ldc r4, 0x204
+            stw r3, r4, 0
+            freet
+        """)
+        sender_b = assemble("""
+            getr r0, 2
+            ldc r1, 0x100
+        wait:
+            ldw r2, r1, 1          # channel B's id
+            bf r2, wait
+            setd r0, r2
+            ldc r3, 0xBB
+            outt r0, r3
+            freet
+        """)
+        core.spawn(selector)
+        core.spawn(sender_b)
+        sim.run()
+        assert core.all_halted
+        assert core.memory.load_word(0x204) == 0xBB   # B's handler ran
+        assert core.memory.load_word(0x200) == 0      # A's did not
+
+    def test_event_without_vector_traps(self, sim, core):
+        program = assemble("""
+            getr r0, 2
+            getr r1, 2
+            setd r0, r1
+            eeu r1                 # events enabled, but no setv
+            ldc r2, 1
+            outt r0, r2
+            waiteu
+            freet
+        """)
+        core.spawn(program)
+        with pytest.raises(TrapError, match="no vector"):
+            sim.run()
+
+    def test_edu_disables(self, sim, core):
+        """After edu, the waiter is not dispatched by arriving data."""
+        waiter = core.spawn(assemble("""
+            getr r0, 2
+            ldc r1, 0x100
+            stw r0, r1, 0
+            setv r0, handler
+            eeu r0
+            edu r0
+            waiteu                 # bare wait: parks forever
+            freet
+        handler:
+            freet
+        """))
+        sender = assemble("""
+            getr r0, 2
+            ldc r1, 0x100
+        wait:
+            ldw r2, r1, 0
+            bf r2, wait
+            setd r0, r2
+            ldc r3, 9
+            outt r0, r3
+            freet
+        """)
+        core.spawn(sender)
+        sim.run()
+        assert not waiter.halted
+        assert waiter.pause_reason == "waiteu"
+
+    def test_clre_clears_all(self, sim, core):
+        thread = core.spawn(assemble("""
+            getr r0, 2
+            getr r1, 2
+            setv r0, handler
+            setv r1, handler
+            eeu r0
+            eeu r1
+            clre
+            freet
+        handler:
+            freet
+        """))
+        sim.run()
+        assert thread.event_resources == []
+
+
+class TestTimerEvents:
+    def test_timer_event_fires_at_compare_time(self, sim, core):
+        """Arm a timer 100 us ahead; the event wakes the thread then."""
+        program = assemble("""
+            getr r0, 1             # timer
+            in r1, r0              # now (ref ticks)
+            ldc r2, 10000          # +10000 ticks = 100 us at 100 MHz
+            add r1, r1, r2
+            tsetafter r0, r1
+            setv r0, fired
+            eeu r0
+            waiteu
+            freet
+        fired:
+            gettime r3
+            ldc r4, 0x400
+            stw r3, r4, 0
+            ldc r5, 1
+            stw r5, r4, 1
+            freet
+        """)
+        core.spawn(program)
+        sim.run()
+        assert core.all_halted
+        assert core.memory.load_word(0x404) == 1
+        assert to_us(sim.now) == pytest.approx(100, rel=0.05)
+
+    def test_elapsed_compare_fires_immediately(self, sim, core):
+        program = assemble("""
+            getr r0, 1
+            ldc r1, 0              # already in the past
+            tsetafter r0, r1
+            setv r0, fired
+            eeu r0
+            waiteu
+            freet
+        fired:
+            ldc r2, 1
+            ldc r3, 0x500
+            stw r2, r3, 0
+            freet
+        """)
+        core.spawn(program)
+        sim.run_for(us(10))
+        assert core.all_halted
+        assert core.memory.load_word(0x500) == 1
+
+    def test_periodic_ticker(self, sim, core):
+        """A timer-event loop: tick N times at a fixed period."""
+        program = assemble("""
+            .equ PERIOD, 2000      # 20 us
+            getr r0, 1
+            in r1, r0
+            ldc r5, 0              # tick count
+            ldc r6, 5              # ticks wanted
+        arm:
+            ldc r2, PERIOD
+            add r1, r1, r2
+            tsetafter r0, r1
+            setv r0, tick
+            eeu r0
+            waiteu
+            freet
+        tick:
+            addi r5, r5, 1
+            eq r7, r5, r6
+            bf r7, arm
+            ldc r4, 0x600
+            stw r5, r4, 0
+            freet
+        """)
+        core.spawn(program)
+        sim.run()
+        assert core.all_halted
+        assert core.memory.load_word(0x600) == 5
+        assert to_us(sim.now) == pytest.approx(100, rel=0.1)
+
+    def test_events_on_lock_rejected(self, sim, core):
+        core.spawn(assemble("""
+            getr r0, 3             # lock
+            eeu r0
+            freet
+        """))
+        with pytest.raises(TrapError, match="does not support events"):
+            sim.run()

@@ -1,0 +1,230 @@
+"""Instruction-semantics tests: run small programs to completion."""
+
+import pytest
+
+from repro.xs1 import TrapError, assemble
+
+
+def run(sim, core, source, max_events=2_000_000, **spawn_kwargs):
+    """Assemble, spawn as one thread, run to completion, return the thread."""
+    thread = core.spawn(assemble(source), **spawn_kwargs)
+    sim.run(max_events=max_events)
+    assert thread.halted, f"thread stuck: {thread.state} ({thread.pause_reason})"
+    return thread
+
+
+class TestArithmetic:
+    def test_add_sub(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 20
+            ldc r1, 22
+            add r2, r0, r1
+            sub r3, r0, r1
+            freet
+        """)
+        assert t.regs.read(2) == 42
+        assert t.regs.read(3) == 0xFFFF_FFFE  # -2 wrapped
+
+    def test_mul_wraps(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 0x10000
+            mul r1, r0, r0
+            freet
+        """)
+        assert t.regs.read(1) == 0
+
+    def test_divu_remu(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 17
+            ldc r1, 5
+            divu r2, r0, r1
+            remu r3, r0, r1
+            freet
+        """)
+        assert t.regs.read(2) == 3
+        assert t.regs.read(3) == 2
+
+    def test_div_by_zero_traps(self, sim, core):
+        core.spawn(assemble("ldc r0, 1\nldc r1, 0\ndivu r2, r0, r1\nfreet"))
+        with pytest.raises(TrapError, match="division by zero"):
+            sim.run()
+
+    def test_logic_ops(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 0xF0
+            ldc r1, 0xFF
+            and r2, r0, r1
+            or  r3, r0, r1
+            xor r4, r0, r1
+            not r5, r0
+            neg r6, r0
+            freet
+        """)
+        assert t.regs.read(2) == 0xF0
+        assert t.regs.read(3) == 0xFF
+        assert t.regs.read(4) == 0x0F
+        assert t.regs.read(5) == 0xFFFF_FF0F
+        assert t.regs.read(6) == (-0xF0) & 0xFFFF_FFFF
+
+    def test_shifts(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 0x80000000
+            ldc r1, 4
+            shr r2, r0, r1
+            ashr r3, r0, r1
+            shli r4, r1, 2
+            shri r5, r0, 31
+            freet
+        """)
+        assert t.regs.read(2) == 0x0800_0000
+        assert t.regs.read(3) == 0xF800_0000
+        assert t.regs.read(4) == 16
+        assert t.regs.read(5) == 1
+
+    def test_comparisons(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 5
+            ldc r1, 0xFFFFFFFF      # -1 signed, huge unsigned
+            lss r2, r1, r0          # -1 < 5 signed -> 1
+            lsu r3, r1, r0          # huge < 5 unsigned -> 0
+            eq  r4, r0, r0
+            eqi r5, r0, 5
+            freet
+        """)
+        assert t.regs.read(2) == 1
+        assert t.regs.read(3) == 0
+        assert t.regs.read(4) == 1
+        assert t.regs.read(5) == 1
+
+    def test_mkmsk(self, sim, core):
+        t = run(sim, core, "mkmsk r0, 8\nmkmsk r1, 32\nfreet")
+        assert t.regs.read(0) == 0xFF
+        assert t.regs.read(1) == 0xFFFF_FFFF
+
+
+class TestMemory:
+    def test_ldw_stw(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 0x200
+            ldc r1, 1234
+            stw r1, r0, 0
+            stw r1, r0, 3
+            ldw r2, r0, 3
+            freet
+        """)
+        assert t.regs.read(2) == 1234
+        assert core.memory.load_word(0x200) == 1234
+        assert core.memory.load_word(0x20C) == 1234
+
+    def test_ldb_stb(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 0x300
+            ldc r1, 0xAB
+            stb r1, r0, 2
+            ldb r2, r0, 2
+            freet
+        """)
+        assert t.regs.read(2) == 0xAB
+
+    def test_ldaw(self, sim, core):
+        t = run(sim, core, "ldc r0, 0x100\nldaw r1, r0, 5\nfreet")
+        assert t.regs.read(1) == 0x100 + 20
+
+    def test_data_section_loaded(self, sim, core):
+        t = run(sim, core, """
+            .data 0x400
+            .word 777
+            start:
+                ldc r0, 0x400
+                ldw r1, r0, 0
+                freet
+        """)
+        assert t.regs.read(1) == 777
+
+
+class TestControlFlow:
+    def test_countdown_loop(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 10
+            ldc r2, 0
+        loop:
+            addi r2, r2, 1
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """)
+        assert t.regs.read(2) == 10
+
+    def test_bf_taken_when_zero(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 0
+            bf r0, skip
+            ldc r1, 1
+        skip:
+            freet
+        """)
+        assert t.regs.read(1) == 0
+
+    def test_call_and_return(self, sim, core):
+        t = run(sim, core, """
+        start:
+            bl func
+            ldc r1, 2
+            freet
+        func:
+            ldc r0, 1
+            ret
+        """)
+        assert t.regs.read(0) == 1
+        assert t.regs.read(1) == 2
+
+    def test_computed_branch(self, sim, core):
+        t = run(sim, core, """
+            ldc r0, 3
+            bru r0
+            nop
+        target:
+            ldc r1, 9
+            freet
+        """)
+        # bru jumps to instruction index 3 == "ldc r1, 9"
+        assert t.regs.read(1) == 9
+
+    def test_pc_out_of_range_traps(self, sim, core):
+        core.spawn(assemble("nop"))
+        with pytest.raises(TrapError, match="pc"):
+            sim.run()
+
+
+class TestTimingDeterminism:
+    def test_gettime_advances(self, sim, core):
+        t = run(sim, core, """
+            gettime r0
+            nop
+            nop
+            gettime r1
+            freet
+        """)
+        # Single thread: one issue per 4 cycles; 3 instructions between reads.
+        assert t.regs.read(1) - t.regs.read(0) == 12
+
+    def test_identical_runs_identical_timing(self, make_core):
+        import repro.sim as sim_mod
+
+        def measure():
+            sim = sim_mod.Simulator()
+            from repro.xs1 import LoopbackFabric, XCore
+
+            fabric = LoopbackFabric(sim)
+            core = XCore(sim, node_id=0, fabric=fabric)
+            thread = core.spawn(assemble("""
+                ldc r0, 50
+            loop:
+                subi r0, r0, 1
+                bt r0, loop
+                freet
+            """))
+            sim.run()
+            return sim.now, thread.instructions_executed
+
+        assert measure() == measure()

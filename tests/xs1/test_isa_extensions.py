@@ -1,0 +1,122 @@
+"""Tests for the extended ISA subset (bit-manipulation instructions)
+and the extra assembler directives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.xs1 import LoopbackFabric, TrapError, XCore, assemble
+
+u32s = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+def run_program(source, r0=0):
+    sim = Simulator()
+    core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+    thread = core.spawn(assemble(source), regs={"r0": r0})
+    sim.run()
+    assert thread.halted
+    return thread, core
+
+
+class TestSignExtension:
+    def test_sext_negative_byte(self):
+        thread, _ = run_program("sext r0, 8\nfreet", r0=0xFF)
+        assert thread.regs.read(0) == 0xFFFF_FFFF
+
+    def test_sext_positive_byte(self):
+        thread, _ = run_program("sext r0, 8\nfreet", r0=0x7F)
+        assert thread.regs.read(0) == 0x7F
+
+    def test_zext_mask(self):
+        thread, _ = run_program("zext r0, 12\nfreet", r0=0xFFFF_FFFF)
+        assert thread.regs.read(0) == 0xFFF
+
+    def test_bad_width_traps(self):
+        sim = Simulator()
+        core = XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+        core.spawn(assemble("sext r0, 33\nfreet"))
+        with pytest.raises(TrapError):
+            sim.run()
+
+    @given(u32s, st.integers(min_value=1, max_value=32))
+    def test_zext_idempotent(self, value, bits):
+        source = f"zext r0, {bits}\nmov r1, r0\nzext r1, {bits}\nfreet"
+        thread, _ = run_program(source, r0=value)
+        assert thread.regs.read(0) == thread.regs.read(1)
+
+
+class TestBitOps:
+    def test_andnot(self):
+        thread, _ = run_program("""
+            ldc r1, 0x0F
+            andnot r0, r1
+            freet
+        """, r0=0xFF)
+        assert thread.regs.read(0) == 0xF0
+
+    @pytest.mark.parametrize("value,expected", [
+        (0, 32), (1, 31), (0x8000_0000, 0), (0xFF, 24),
+    ])
+    def test_clz(self, value, expected):
+        thread, _ = run_program("clz r1, r0\nfreet", r0=value)
+        assert thread.regs.read(1) == expected
+
+    def test_byterev(self):
+        thread, _ = run_program("byterev r1, r0\nfreet", r0=0x01020304)
+        assert thread.regs.read(1) == 0x04030201
+
+    def test_bitrev(self):
+        thread, _ = run_program("bitrev r1, r0\nfreet", r0=0x1)
+        assert thread.regs.read(1) == 0x8000_0000
+
+    @given(u32s)
+    def test_bitrev_involution(self, value):
+        thread, _ = run_program("bitrev r1, r0\nbitrev r2, r1\nfreet", r0=value)
+        assert thread.regs.read(2) == value
+
+    @given(u32s)
+    def test_byterev_involution(self, value):
+        thread, _ = run_program("byterev r1, r0\nbyterev r2, r1\nfreet", r0=value)
+        assert thread.regs.read(2) == value
+
+
+class TestNewDirectives:
+    def test_byte_directive(self):
+        _, core = run_program("""
+            .data 0x50
+            .byte 1, 2, 0x83
+            start: freet
+        """)
+        assert core.memory.read_block(0x50, 3) == bytes([1, 2, 0x83])
+
+    def test_ascii_directive(self):
+        _, core = run_program("""
+            .data 0x60
+            .ascii "swallow"
+            start: freet
+        """)
+        assert core.memory.read_block(0x60, 7) == b"swallow"
+
+    def test_ascii_requires_quotes(self):
+        from repro.xs1 import AssemblerError
+
+        with pytest.raises(AssemblerError, match="quoted"):
+            assemble('.data 0\n.ascii unquoted')
+
+    def test_byte_before_data_rejected(self):
+        from repro.xs1 import AssemblerError
+
+        with pytest.raises(AssemblerError):
+            assemble(".byte 1")
+
+    def test_mixed_directives_contiguous(self):
+        _, core = run_program("""
+            .data 0x80
+            .byte 0xAA
+            .ascii "xy"
+            .byte 0xBB
+            start: freet
+        """)
+        assert core.memory.read_block(0x80, 4) == bytes([0xAA, 0x78, 0x79, 0xBB])

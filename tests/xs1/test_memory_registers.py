@@ -1,0 +1,130 @@
+"""Tests for SRAM and the register file."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xs1 import MemoryAccessError, RegisterFile, Sram, TrapError, s32, u32
+
+
+class TestSram:
+    def test_word_roundtrip(self):
+        mem = Sram()
+        mem.store_word(0x100, 0xDEADBEEF)
+        assert mem.load_word(0x100) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        mem = Sram()
+        mem.store_word(0, 0x01020304)
+        assert mem.load_byte(0) == 0x04
+        assert mem.load_byte(3) == 0x01
+
+    def test_byte_and_half(self):
+        mem = Sram()
+        mem.store_byte(5, 0xAB)
+        assert mem.load_byte(5) == 0xAB
+        mem.store_half(6, 0x1234)
+        assert mem.load_half(6) == 0x1234
+
+    def test_size_is_64kib(self):
+        assert Sram().size == 64 * 1024
+
+    def test_word_wraps_to_32_bits(self):
+        mem = Sram()
+        mem.store_word(0, 0x1_0000_0001)
+        assert mem.load_word(0) == 1
+
+    def test_out_of_range_rejected(self):
+        mem = Sram()
+        with pytest.raises(MemoryAccessError):
+            mem.load_word(mem.size)
+        with pytest.raises(MemoryAccessError):
+            mem.store_word(mem.size - 2, 0)
+        with pytest.raises(MemoryAccessError):
+            mem.load_byte(-1)
+
+    def test_misaligned_rejected(self):
+        mem = Sram()
+        with pytest.raises(MemoryAccessError, match="misaligned"):
+            mem.load_word(2)
+        with pytest.raises(MemoryAccessError, match="misaligned"):
+            mem.store_half(1, 0)
+
+    def test_block_roundtrip(self):
+        mem = Sram()
+        mem.write_block(10, b"hello")
+        assert mem.read_block(10, 5) == b"hello"
+
+    def test_block_bounds(self):
+        mem = Sram()
+        with pytest.raises(MemoryAccessError):
+            mem.write_block(mem.size - 2, b"abc")
+
+    def test_access_counters(self):
+        mem = Sram()
+        mem.store_word(0, 1)
+        mem.load_word(0)
+        mem.load_byte(0)
+        assert mem.stores == 1
+        assert mem.loads == 2
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Sram(6)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF_FFFF), st.integers(min_value=0, max_value=(64 * 1024 - 4) // 4))
+    def test_word_roundtrip_property(self, value, word_index):
+        mem = Sram()
+        mem.store_word(word_index * 4, value)
+        assert mem.load_word(word_index * 4) == value
+
+
+class TestRegisterFile:
+    def test_initially_zero(self):
+        regs = RegisterFile()
+        assert all(v == 0 for v in regs.snapshot().values())
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(3, 99)
+        assert regs.read(3) == 99
+
+    def test_named_access(self):
+        regs = RegisterFile()
+        regs.write_named("sp", 0x8000)
+        assert regs.read_named("sp") == 0x8000
+        assert regs.read(14) == 0x8000
+
+    def test_wraps_32_bits(self):
+        regs = RegisterFile()
+        regs.write(0, -1)
+        assert regs.read(0) == 0xFFFF_FFFF
+
+    def test_invalid_index(self):
+        regs = RegisterFile()
+        with pytest.raises(TrapError):
+            regs.read(16)
+        with pytest.raises(TrapError):
+            regs.write(-1, 0)
+
+    def test_snapshot_names(self):
+        snap = RegisterFile().snapshot()
+        assert set(snap) == {f"r{i}" for i in range(12)} | {"cp", "dp", "sp", "lr"}
+
+
+class TestWrapHelpers:
+    @given(st.integers())
+    def test_u32_range(self, value):
+        assert 0 <= u32(value) <= 0xFFFF_FFFF
+
+    @given(st.integers())
+    def test_s32_range(self, value):
+        assert -(2**31) <= s32(value) <= 2**31 - 1
+
+    def test_s32_negative(self):
+        assert s32(0xFFFF_FFFF) == -1
+        assert s32(0x8000_0000) == -(2**31)
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_s32_roundtrip(self, value):
+        assert s32(u32(value)) == value

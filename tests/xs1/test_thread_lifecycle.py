@@ -1,0 +1,141 @@
+"""Thread lifecycle invariants: pause/resume/halt state machine."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.xs1 import (
+    BehavioralThread,
+    Compute,
+    LoopbackFabric,
+    Sleep,
+    ThreadState,
+    TrapError,
+    XCore,
+    assemble,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def core(sim):
+    return XCore(sim, node_id=0, fabric=LoopbackFabric(sim))
+
+
+class TestStates:
+    def test_spawned_thread_is_runnable(self, core):
+        thread = core.spawn(assemble("freet"))
+        assert thread.state is ThreadState.RUNNABLE
+        assert thread.runnable
+
+    def test_halt_is_terminal(self, sim, core):
+        thread = core.spawn(assemble("freet"))
+        sim.run()
+        assert thread.state is ThreadState.HALTED
+        thread.resume()   # no-op on halted threads
+        assert thread.halted
+        thread.halt()     # idempotent
+        assert thread.halted
+
+    def test_pause_of_halted_thread_traps(self, sim, core):
+        thread = core.spawn(assemble("freet"))
+        sim.run()
+        with pytest.raises(TrapError):
+            thread.pause("nope")
+
+    def test_resume_is_idempotent_for_runnable(self, core):
+        thread = core.spawn(assemble("nop\nfreet"))
+        thread.resume()
+        thread.resume()
+        assert thread.runnable
+
+    def test_pause_reason_cleared_on_resume(self, sim, core):
+        def body():
+            yield Sleep(100)
+
+        thread = BehavioralThread(core, body())
+        sim.run_until(core.frequency.cycles_to_ps(10))
+        assert thread.pause_reason == "sleep"
+        sim.run()
+        assert thread.halted
+        assert thread.pause_reason is None
+
+
+class TestCounters:
+    def test_active_thread_count_tracks_pauses(self, sim, core):
+        def sleeper():
+            yield Sleep(1000)
+
+        def worker():
+            yield Compute(2000)
+
+        BehavioralThread(core, sleeper())
+        BehavioralThread(core, worker())
+        assert core.active_threads == 2
+        sim.run_until(core.frequency.cycles_to_ps(20))
+        assert core.active_threads == 1   # sleeper parked
+        sim.run()
+        assert core.active_threads == 0
+        assert core.live_threads == 0
+
+    def test_halt_callbacks_fire(self, sim, core):
+        halted = []
+        core.on_halt_callbacks.append(lambda t: halted.append(t.name))
+        core.spawn(assemble("freet"), name="one")
+        core.spawn(assemble("nop\nfreet"), name="two")
+        sim.run()
+        assert sorted(halted) == ["one", "two"]
+
+    def test_instruction_counter_excludes_blocked_retries(self, sim, core):
+        """A blocked instruction retires exactly once despite re-issues."""
+        receiver = core.allocate_chanend()
+        sender = core.allocate_chanend()
+        sender.set_dest(receiver.address)
+        program = assemble("""
+            in r1, r0
+            freet
+        """)
+        thread = core.spawn(program, regs={"r0": receiver.address.encode()})
+        sim.run()
+        assert not thread.halted            # still blocked
+        count_while_blocked = thread.instructions_executed
+        assert count_while_blocked == 0     # nothing retired yet
+        from repro.network.token import word_to_tokens
+
+        sender.push_tx(word_to_tokens(5))
+        sim.run()
+        assert thread.halted
+        assert thread.instructions_executed == 2   # in + freet
+
+
+class TestSchedulerFairness:
+    def test_equal_threads_make_equal_progress(self, sim, core):
+        program = assemble("""
+            ldc r0, 400
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """)
+        threads = [core.spawn(program) for _ in range(6)]
+        sim.run_until(core.frequency.cycles_to_ps(1200))
+        counts = [t.instructions_executed for t in threads]
+        assert max(counts) - min(counts) <= 1
+
+    def test_woken_thread_rejoins_rotation(self, sim, core):
+        def napper():
+            yield Compute(10)
+            yield Sleep(500)
+            yield Compute(10)
+
+        def grinder():
+            yield Compute(5000)
+
+        nap = BehavioralThread(core, napper())
+        BehavioralThread(core, grinder())
+        sim.run()
+        assert nap.halted
+        assert nap.instructions_executed == 20
