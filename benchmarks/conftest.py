@@ -4,13 +4,55 @@ Every bench regenerates one table or figure of the paper and both
 prints it and writes it to ``benchmarks/out/<name>.txt`` so results
 survive pytest's output capture.  Rows typically carry a paper value, a
 measured/computed value, and their ratio.
+
+A session-wide profile of the simulator itself (events executed,
+events/sec, wall time per bench) is written to
+``benchmarks/out/bench_profile.json`` from the kernel's global
+``KERNEL_STATS`` ledger.
 """
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.sim.engine import KERNEL_STATS
+
 OUT_DIR = Path(__file__).parent / "out"
+
+#: Per-test kernel profile rows collected by the hookwrapper below.
+_PROFILE_ROWS: list[dict] = []
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Attribute kernel events and wall time to each benchmark test."""
+    events_before = KERNEL_STATS.events_executed
+    wall_before = time.perf_counter()
+    yield
+    wall_s = time.perf_counter() - wall_before
+    events = KERNEL_STATS.events_executed - events_before
+    _PROFILE_ROWS.append({
+        "test": item.nodeid.split("::", 1)[-1] if "::" in item.nodeid else item.nodeid,
+        "file": item.nodeid.split("::", 1)[0],
+        "events": events,
+        "wall_s": round(wall_s, 6),
+        "events_per_sec": round(events / wall_s) if wall_s > 0 else 0,
+    })
+
+
+def pytest_sessionfinish(session):
+    """Write the accumulated kernel profile for the whole bench run."""
+    if not _PROFILE_ROWS:
+        return
+    OUT_DIR.mkdir(exist_ok=True)
+    doc = {
+        "events_total": sum(r["events"] for r in _PROFILE_ROWS),
+        "wall_s_total": round(sum(r["wall_s"] for r in _PROFILE_ROWS), 6),
+        "benches": sorted(_PROFILE_ROWS, key=lambda r: -r["events"]),
+    }
+    (OUT_DIR / "bench_profile.json").write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def format_table(title: str, headers: list[str], rows: list[list], notes: str = "") -> str:

@@ -62,7 +62,8 @@ from repro.network import ChanendAddress, Token
 from repro.network.ethernet import EthernetBridge
 from repro.network.routing import Direction, Layer, NodeCoord, next_direction
 from repro.network.topology import SwallowTopology
-from repro.sim import Frequency, Simulator
+from repro.obs import MetricsRegistry, MetricsSnapshot, SimProfile
+from repro.sim import Frequency, Simulator, TraceRecorder
 from repro.xs1 import (
     BehavioralThread,
     CheckCt,
@@ -95,6 +96,8 @@ __all__ = [
     "InstructionEnergyModel",
     "Layer",
     "MeasurementBoard",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "NanoOS",
     "NodeCoord",
     "Placement",
@@ -107,11 +110,13 @@ __all__ = [
     "SendWord",
     "SetDest",
     "SharedMemoryServer",
+    "SimProfile",
     "Simulator",
     "Sleep",
     "SwallowSystem",
     "SwallowTopology",
     "Token",
+    "TraceRecorder",
     "XCore",
     "active_power_mw",
     "assemble",

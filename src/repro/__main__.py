@@ -4,12 +4,20 @@ Commands:
 
 * ``info``   — system inventory of a configured machine;
 * ``tables`` — print the paper's derived tables (I, II, III, Fig. 2);
-* ``demo``   — run the quickstart workload and print the energy report.
+* ``demo``   — run the quickstart workload and print the energy report
+  (``--json`` for machine-readable output, ``--seed`` to vary the
+  workload deterministically);
+* ``stats``  — run the demo workload and print the metrics snapshot
+  plus a kernel profile (events by source, sim/wall ratio);
+* ``trace``  — run the demo workload with machine-wide tracing and
+  export it as Chrome trace-event JSON (Perfetto/chrome://tracing)
+  or JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -95,35 +103,115 @@ def cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_demo(args: argparse.Namespace) -> int:
-    from repro import Compute, RecvWord, SendWord, SwallowSystem, assemble
+def _demo_workload(system, seed: int | None = None) -> list[int]:
+    """Load the quickstart workload onto ``system``; returns the RX list.
 
-    system = SwallowSystem()
-    system.spawn(system.core(0), assemble("""
-        ldc r0, 1000
+    ``seed`` deterministically varies the workload (loop counts, number
+    of streamed words, payload values) so scripted runs can explore more
+    than one schedule; ``None`` keeps the historical fixed demo.
+    """
+    import random
+
+    from repro import Compute, RecvWord, SendWord, assemble
+
+    if seed is None:
+        loop_count, words, payload = 1000, 4, lambda i: i * i
+    else:
+        rng = random.Random(seed)
+        loop_count = rng.randrange(200, 2000)
+        words = rng.randrange(2, 9)
+        values = [rng.randrange(0, 1 << 16) for _ in range(words)]
+        payload = lambda i: values[i]
+    system.spawn(system.core(0), assemble(f"""
+        ldc r0, {loop_count}
     loop:
         subi r0, r0, 1
         bt r0, loop
         freet
     """))
     channel = system.channel(system.core(1), system.core(10))
-    received = []
+    received: list[int] = []
 
     def producer():
-        for i in range(4):
+        for i in range(words):
             yield Compute(100)
-            yield SendWord(channel.a, i * i)
+            yield SendWord(channel.a, payload(i))
 
     def consumer():
-        for _ in range(4):
+        for _ in range(words):
             received.append((yield RecvWord(channel.b)))
 
     system.spawn_task(system.core(1), producer())
     system.spawn_task(system.core(10), consumer())
+    return received
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro import SwallowSystem
+
+    system = SwallowSystem()
+    received = _demo_workload(system, seed=args.seed)
     system.run()
+    report = system.energy_report()
+    if args.json:
+        document = {
+            "seed": args.seed,
+            "received": received,
+            "report": report.to_dict(),
+        }
+        print(json.dumps(document, sort_keys=True))
+        return 0
     print(f"streamed words: {received}")
-    print(system.energy_report().render())
+    print(report.render())
     return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro import SwallowSystem
+
+    system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
+    _demo_workload(system, seed=args.seed)
+    with system.profile() as profile:
+        system.run()
+    snapshot = system.metrics_snapshot()
+    if args.json:
+        print(json.dumps(
+            {"profile": profile.to_dict(), "metrics": snapshot.as_dict()},
+            sort_keys=True,
+        ))
+        return 0
+    print(profile.render())
+    print()
+    print(snapshot.render(prefix=args.prefix))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import SwallowSystem
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
+    kinds = None
+    if args.kinds:
+        kinds = {k for arg in args.kinds for k in arg.split(",") if k}
+    recorder = system.trace(kinds=kinds, capacity=args.capacity)
+    _demo_workload(system, seed=args.seed)
+    system.run()
+    if args.format == "chrome":
+        write_chrome_trace(recorder.records, args.out)
+    else:
+        write_jsonl(recorder.records, args.out)
+    print(f"wrote {len(recorder)} records to {args.out} "
+          f"({args.format}); recorder {recorder!r}")
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for values that must be >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,7 +240,36 @@ def main(argv: list[str] | None = None) -> int:
     topology.add_argument("--slices-y", type=int, default=1)
     topology.set_defaults(func=cmd_topology)
     demo = subparsers.add_parser("demo", help="run the quickstart workload")
+    demo.add_argument("--seed", type=int, default=None,
+                      help="vary the workload deterministically")
+    demo.add_argument("--json", action="store_true",
+                      help="emit the energy report as JSON on stdout")
     demo.set_defaults(func=cmd_demo)
+    stats = subparsers.add_parser(
+        "stats", help="run the demo workload; print metrics + kernel profile"
+    )
+    stats.add_argument("--slices-x", type=int, default=1)
+    stats.add_argument("--slices-y", type=int, default=1)
+    stats.add_argument("--seed", type=int, default=None)
+    stats.add_argument("--prefix", default=None,
+                       help="only show metric series with this prefix")
+    stats.add_argument("--json", action="store_true",
+                       help="emit profile + metrics as JSON")
+    stats.set_defaults(func=cmd_stats)
+    trace = subparsers.add_parser(
+        "trace", help="run the demo workload with tracing; export the trace"
+    )
+    trace.add_argument("--slices-x", type=int, default=1)
+    trace.add_argument("--slices-y", type=int, default=1)
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--out", default="trace.json", help="output file")
+    trace.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome")
+    trace.add_argument("--kinds", nargs="*", default=None,
+                       help="record only these event kinds")
+    trace.add_argument("--capacity", type=_positive_int, default=None,
+                       help="flight-recorder bound on retained records")
+    trace.set_defaults(func=cmd_trace)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -77,6 +77,34 @@ class MachineAssembly:
                 return board
         raise KeyError(f"no slice at ({sx}, {sy})")
 
+    def register_metrics(self, registry) -> None:
+        """Publish every component's series on one registry.
+
+        Covers all cores, the whole network fabric (switches, links,
+        per-class rollups), the energy ledger and every slice's
+        measurement board — the one call
+        :class:`~repro.core.platform.SwallowSystem` makes to light up
+        ``system.metrics``.
+        """
+        for core in self.cores:
+            core.register_metrics(registry)
+        self.topology.fabric.register_metrics(registry)
+        self.accounting.register_metrics(registry)
+        for board in self.slices:
+            board.measurement.register_metrics(
+                registry, slice=f"{board.sx},{board.sy}"
+            )
+
+    def set_tracer(self, tracer) -> None:
+        """Attach one trace recorder to every traceable component."""
+        from repro.sim import NullTracer
+
+        for core in self.cores:
+            core.tracer = tracer if tracer is not None else NullTracer()
+        self.topology.fabric.set_tracer(tracer)
+        for board in self.slices:
+            board.measurement.tracer = tracer
+
 
 def build_machine(
     sim: Simulator,
@@ -136,7 +164,8 @@ def build_machine(
                 sy=sy,
                 chips=chips,
                 measurement=MeasurementBoard(
-                    sim, accounting, build_slice_rails(slice_cores)
+                    sim, accounting, build_slice_rails(slice_cores),
+                    name=f"adc{sx},{sy}",
                 ),
             )
             machine.slices.append(board)

@@ -13,7 +13,8 @@ from repro.apps.channels import AppChannel
 from repro.board.assembly import MachineAssembly, build_machine
 from repro.core.transparency import EnergyReport, build_report
 from repro.network.ethernet import EthernetBridge
-from repro.sim import Frequency, Simulator, us
+from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.sim import Frequency, Simulator, TraceRecorder, us
 from repro.xs1.assembler import Program
 from repro.xs1.behavioral import BehavioralThread
 from repro.xs1.core import XCore
@@ -30,6 +31,7 @@ class SwallowSystem:
         frequency: Frequency | None = None,
         sim: Simulator | None = None,
         ethernet_columns: tuple[int, ...] = (),
+        metrics: bool | MetricsRegistry = True,
         **machine_kwargs,
     ):
         self.sim = sim or Simulator()
@@ -41,6 +43,17 @@ class SwallowSystem:
             EthernetBridge.attach(self.machine.topology, column=column)
             for column in ethernet_columns
         ]
+        #: The machine-wide metrics registry.  ``metrics=False`` builds
+        #: a disabled registry (near-zero overhead, empty snapshots);
+        #: passing a :class:`~repro.obs.MetricsRegistry` shares one
+        #: registry across systems.
+        self.metrics = (
+            metrics if isinstance(metrics, MetricsRegistry)
+            else MetricsRegistry(enabled=bool(metrics))
+        )
+        self.sim.register_metrics(self.metrics)
+        self.machine.register_metrics(self.metrics)
+        self.tracer: TraceRecorder | None = None
 
     # -- structure ---------------------------------------------------------------
 
@@ -111,6 +124,35 @@ class SwallowSystem:
     def energy_report(self) -> EnergyReport:
         """Snapshot of where the energy went (the headline feature)."""
         return build_report(self)
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Collect every published metric series right now."""
+        return self.metrics.snapshot()
+
+    def trace(
+        self,
+        kinds=None,
+        capacity: int | None = None,
+        tracer: TraceRecorder | None = None,
+    ) -> TraceRecorder:
+        """Attach one machine-wide trace recorder and return it.
+
+        Records core ``issue`` events, switch ``route_open`` /
+        ``route_close`` / ``deliver`` events, link ``token`` events and
+        ADC ``sample`` events.  ``kinds`` filters at record time;
+        ``capacity`` bounds memory with flight-recorder (keep-newest)
+        semantics.  Export the result with
+        :meth:`~repro.sim.tracing.TraceRecorder.to_chrome_trace` or
+        :meth:`~repro.sim.tracing.TraceRecorder.to_jsonl`.
+        """
+        recorder = tracer or TraceRecorder(kinds=kinds, capacity=capacity)
+        self.machine.set_tracer(recorder)
+        self.tracer = recorder
+        return recorder
+
+    def profile(self):
+        """Profile the simulation kernel; see :meth:`Simulator.profile`."""
+        return self.sim.profile()
 
     def measured_gips(self) -> float:
         """Aggregate instruction throughput achieved so far, in GIPS."""

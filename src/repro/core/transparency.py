@@ -158,7 +158,18 @@ def attribute_to_threads(system: "SwallowSystem") -> list[ThreadEnergyRow]:
 
 
 def build_report(system: "SwallowSystem") -> EnergyReport:
-    """Assemble an :class:`EnergyReport` from a system's ledgers."""
+    """Assemble an :class:`EnergyReport` from a system's ledgers.
+
+    When the system carries an enabled metrics registry
+    (``SwallowSystem.metrics``), every number in the report is read out
+    of one :meth:`~repro.obs.MetricsRegistry.snapshot` — the report *is*
+    a view over the metrics, so the two can never disagree.  Systems
+    built with ``metrics=False`` fall back to reading the ledgers
+    directly; both paths draw from the same accumulators.
+    """
+    registry = getattr(system, "metrics", None)
+    if registry is not None and registry.enabled:
+        return _report_from_snapshot(system, registry.snapshot())
     accounting = system.accounting
     accounting.update()
     elapsed = accounting.elapsed_s
@@ -181,4 +192,32 @@ def build_report(system: "SwallowSystem") -> EnergyReport:
         link_energy_j=accounting.link_energy_j,
         support_energy_j=accounting.support_energy_j(),
         link_bits_by_class={name: s["bits"] for name, s in stats.items()},
+    )
+
+
+def _report_from_snapshot(system: "SwallowSystem", snapshot) -> EnergyReport:
+    """Build the report purely from a metrics snapshot."""
+    elapsed = snapshot.value("energy.elapsed_s", default=0.0)
+    rows = []
+    for core in system.cores:
+        node = str(core.node_id)
+        energy = snapshot.value("energy.core_j", default=0.0, node=node)
+        instructions = int(snapshot.sum("core.instructions", node=node))
+        rows.append(
+            CoreEnergyRow(
+                node_id=core.node_id,
+                instructions=instructions,
+                energy_j=energy,
+                mean_power_mw=(energy / elapsed * 1e3) if elapsed else 0.0,
+            )
+        )
+    return EnergyReport(
+        elapsed_s=elapsed,
+        cores=rows,
+        link_energy_j=snapshot.value("energy.links_j", default=0.0),
+        support_energy_j=snapshot.value("energy.support_j", default=0.0),
+        link_bits_by_class={
+            labels["class"]: bits
+            for labels, bits in snapshot.series("fabric.bits")
+        },
     )

@@ -138,3 +138,29 @@ class EnergyAccounting:
         if elapsed == 0:
             return 0.0
         return self.total_energy_j() / elapsed * 1e3
+
+    def register_metrics(self, registry) -> None:
+        """Publish the ledger as metric series (lazily collected).
+
+        One collector closes every integration window
+        (:meth:`update`) and then emits ``energy.core_j{node=...}`` and
+        ``energy.core_power_mw{node=...}`` per core plus the machine
+        totals ``energy.links_j``, ``energy.support_j`` and
+        ``energy.elapsed_s``.  Because the energy report is built from
+        the same series (:func:`repro.core.transparency.build_report`),
+        reports and metrics cannot disagree.
+        """
+
+        def _collect(emit) -> None:
+            self.update()
+            for node_id in sorted(self.trackers):
+                tracker = self.trackers[node_id]
+                labels = {"node": str(node_id)}
+                emit("energy.core_j", labels, tracker.energy_j)
+                emit("energy.core_power_mw", labels,
+                     tracker.last_window_power_mw)
+            emit("energy.links_j", {}, self.link_energy_j)
+            emit("energy.support_j", {}, self.support_energy_j())
+            emit("energy.elapsed_s", {}, self.elapsed_s)
+
+        registry.register_collector(_collect)

@@ -105,22 +105,45 @@ class MeasurementBoard:
         accounting: EnergyAccounting,
         rails: list[Rail],
         adc: Adc | None = None,
+        name: str = "adc",
     ):
         self.sim = sim
         self.accounting = accounting
         self.rails = rails
         self.adc = adc or Adc()
         self.samples_taken = 0
+        self.name = name
+        #: Optional trace sink (records one ``sample`` event per read).
+        self.tracer = None
+        self._samples_counter = None
+
+    def register_metrics(self, registry, **labels: str) -> None:
+        """Publish ADC activity: the eager ``adc.samples`` counter.
+
+        ``labels`` identify the board (the assembly passes
+        ``slice="sx,sy"``); the counter increments per channel read, the
+        same granularity the paper's 2 MS/s budget is specified at.
+        """
+        counter = registry.counter("adc.samples", **labels)
+        counter.inc(self.samples_taken)
+        self._samples_counter = counter
+
+    def _count_samples(self, n: int) -> None:
+        self.samples_taken += n
+        if self._samples_counter is not None:
+            self._samples_counter.inc(n)
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, self.name, "sample", n)
 
     def sample_channel(self, index: int) -> float:
         """One quantised power reading (mW) of rail ``index``."""
         rail = self.rails[index]
-        self.samples_taken += 1
+        self._count_samples(1)
         return self.adc.quantize(rail.power_mw(self.accounting))
 
     def sample_all(self) -> list[float]:
         """Simultaneous reading of every rail."""
-        self.samples_taken += len(self.rails)
+        self._count_samples(len(self.rails))
         self.accounting.update()
         return [self.adc.quantize(rail.power_mw(self.accounting)) for rail in self.rails]
 

@@ -19,6 +19,8 @@ from repro.network.switch import Switch
 from repro.sim import Frequency, Simulator
 
 if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.tracing import TraceRecorder
     from repro.xs1.chanend import Chanend
 
 #: A routing policy maps (current coordinate, destination coordinate) to
@@ -71,6 +73,8 @@ class SwallowFabric:
         #: Software routing tables (node -> dest -> direction); when set
         #: they take precedence over the coordinate policy.
         self.routing_tables: dict[int, dict[int, Direction]] | None = None
+        #: Network-wide trace sink; switches and links consult this.
+        self.tracer: "TraceRecorder | None" = None
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -118,6 +122,8 @@ class SwallowFabric:
             switch_b.add_incoming(forward)
             switch_b.add_outgoing(direction_ba, backward)
             switch_a.add_incoming(backward)
+            forward.tracer = self.tracer
+            backward.tracer = self.tracer
             self.links.extend((forward, backward))
             self.link_records.append(
                 LinkRecord(node_a, node_b, direction_ab, direction_ba,
@@ -286,6 +292,40 @@ class SwallowFabric:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def set_tracer(self, tracer: "TraceRecorder | None") -> None:
+        """Attach (or detach, with ``None``) a network-wide trace sink.
+
+        Switches record ``route_open``/``route_close``/``deliver``
+        events and every half-link records ``token`` events.  Pass a
+        kind-filtered or bounded :class:`~repro.sim.tracing.TraceRecorder`
+        to keep long runs affordable.
+        """
+        self.tracer = tracer
+        for link in self.links:
+            link.tracer = tracer
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Publish every switch's and link's series, plus class rollups.
+
+        Per-class rollups (``fabric.tokens{class=...}``,
+        ``fabric.bits{class=...}``) come from
+        :meth:`link_stats_by_class`, the same aggregation the energy
+        ledger consumes — so traffic metrics and link energy agree by
+        construction.
+        """
+        for node_id in sorted(self.switches):
+            self.switches[node_id].register_metrics(registry)
+        for link in self.links:
+            link.register_metrics(registry)
+
+        def _collect_classes(emit) -> None:
+            for name, stats in sorted(self.link_stats_by_class().items()):
+                emit("fabric.tokens", {"class": name}, stats["tokens"])
+                emit("fabric.bits", {"class": name}, stats["bits"])
+            emit("fabric.routes_open", {}, self.total_routes_open)
+
+        registry.register_collector(_collect_classes)
 
     def link_stats_by_class(self) -> dict[str, dict[str, float]]:
         """Aggregate tokens/bits carried per link class (for energy)."""

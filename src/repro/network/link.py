@@ -23,6 +23,8 @@ from repro.sim import Simulator
 
 if TYPE_CHECKING:
     from repro.network.switch import InputPort
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.tracing import TraceRecorder
 
 
 class HalfLink:
@@ -47,6 +49,8 @@ class HalfLink:
         self.tokens_carried = 0
         self.bits_carried = 0
         self.busy_time_ps = 0
+        #: Optional trace sink (set via SwallowFabric.set_tracer).
+        self.tracer: "TraceRecorder | None" = None
 
     # -- route allocation ---------------------------------------------------
 
@@ -91,6 +95,8 @@ class HalfLink:
         self.tokens_carried += 1
         self.bits_carried += TOKEN_BITS
         self.busy_time_ps += self.token_time_ps
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, self.name, "token", str(token))
         self.sim.schedule(self.token_time_ps, lambda: self._delivered(token, on_done))
 
     def _delivered(self, token: Token, on_done: Callable[[], None] | None) -> None:
@@ -112,6 +118,20 @@ class HalfLink:
         if elapsed_ps <= 0:
             return 0.0
         return min(1.0, self.busy_time_ps / elapsed_ps)
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Publish this half-link's traffic series (lazily collected).
+
+        Series: ``link.tokens{link=...}``, ``link.bits{link=...}`` and
+        ``link.utilization{link=...}`` (fraction of elapsed sim time
+        spent serializing).
+        """
+        labels = {"link": self.name}
+        registry.counter_fn("link.tokens",
+                            lambda: self.tokens_carried, **labels)
+        registry.counter_fn("link.bits", lambda: self.bits_carried, **labels)
+        registry.gauge_fn("link.utilization",
+                          lambda: self.utilization(self.sim.now), **labels)
 
     def __repr__(self) -> str:
         return f"<HalfLink {self.name} {self.spec.name} {'busy' if self.busy else 'idle'}>"

@@ -34,13 +34,15 @@ from repro.sim import Frequency, Simulator
 
 if TYPE_CHECKING:
     from repro.network.fabric import SwallowFabric
+    from repro.obs.metrics import MetricsRegistry
     from repro.xs1.chanend import Chanend
 
 
 class RouteState:
     """An open route through one port."""
 
-    __slots__ = ("dest", "direction", "link", "local_target", "header_to_send")
+    __slots__ = ("dest", "direction", "link", "local_target", "header_to_send",
+                 "opened_ps")
 
     def __init__(
         self,
@@ -49,12 +51,14 @@ class RouteState:
         link: HalfLink | None,
         local_target: "Chanend | None",
         header_to_send: list[Token],
+        opened_ps: int = 0,
     ):
         self.dest = dest
         self.direction = direction
         self.link = link
         self.local_target = local_target
         self.header_to_send = header_to_send
+        self.opened_ps = opened_ps
 
 
 class InputPort:
@@ -137,9 +141,15 @@ class InputPort:
         dest = ChanendAddress.from_header(header)
         switch = self.switch
         self.routes_opened += 1
+        tracer = switch.fabric.tracer
+        if tracer is not None:
+            tracer.record(switch.sim.now, switch.name, "route_open",
+                          self.name, str(dest))
+        now = switch.sim.now
         if dest.node == switch.node_id:
             target = switch.fabric.local_chanend(dest)
-            self.route = RouteState(dest, Direction.LOCAL, None, target, [])
+            self.route = RouteState(dest, Direction.LOCAL, None, target, [],
+                                    opened_ps=now)
             return True
         direction = switch.route_policy(dest.node)
         group = switch.groups.get(direction)
@@ -148,7 +158,8 @@ class InputPort:
                 f"{switch.name}: no {direction.value} links toward node {dest.node}"
             )
         link = group.try_allocate(self, lane=self._crossing_lane(direction, dest))
-        self.route = RouteState(dest, direction, link, None, list(header))
+        self.route = RouteState(dest, direction, link, None, list(header),
+                                opened_ps=now)
         return True
 
     def _crossing_lane(self, direction: Direction, dest: ChanendAddress) -> str:
@@ -181,12 +192,14 @@ class InputPort:
             return  # resumed by the link's delivery/credit callbacks
         if route.header_to_send:
             link.send(route.header_to_send.pop(0))
+            self.switch.tokens_forwarded += 1
             return
         token = self._peek()
         if token is None:
             return  # more payload may arrive later
         self._consume()
         link.send(token)
+        self.switch.tokens_forwarded += 1
         if token.is_end:
             self._close_route(route)
 
@@ -201,6 +214,10 @@ class InputPort:
             return
         self._consume()
         self.switch.tokens_delivered += 1
+        tracer = self.switch.fabric.tracer
+        if tracer is not None:
+            tracer.record(self.switch.sim.now, self.switch.name, "deliver",
+                          str(route.dest), str(token))
         if token.is_end:
             self._close_route(route)
         elif not self._pump_pending:
@@ -210,10 +227,17 @@ class InputPort:
             self.switch.sim.schedule(delay, self._run)
 
     def _close_route(self, route: RouteState) -> None:
+        switch = self.switch
         if route.link is not None:
-            self.switch.groups[route.direction].release(route.link, self)
+            switch.groups[route.direction].release(route.link, self)
         self.route = None
-        self.switch.routes_closed += 1
+        switch.routes_closed += 1
+        if switch.route_hold_hist is not None:
+            switch.route_hold_hist.observe(switch.sim.now - route.opened_ps)
+        tracer = switch.fabric.tracer
+        if tracer is not None:
+            tracer.record(switch.sim.now, switch.name, "route_close",
+                          self.name, str(route.dest))
         self.pump()  # a following message may already be buffered
 
     def __repr__(self) -> str:
@@ -277,6 +301,9 @@ class Switch:
         self.chanend_ports: dict[int, ChanendPort] = {}
         self.routes_closed = 0
         self.tokens_delivered = 0
+        self.tokens_forwarded = 0
+        #: Route-hold-time histogram, armed by :meth:`register_metrics`.
+        self.route_hold_hist = None
 
     def route_policy(self, dest_node: int) -> Direction:
         """Next-hop direction toward ``dest_node`` (set by the fabric)."""
@@ -312,6 +339,36 @@ class Switch:
         """Routes currently held open through this switch."""
         ports: list[InputPort] = [*self.link_ports, *self.chanend_ports.values()]
         return sum(1 for port in ports if port.route is not None)
+
+    @property
+    def routes_opened(self) -> int:
+        """Routes ever opened through this switch (all ports)."""
+        ports: list[InputPort] = [*self.link_ports, *self.chanend_ports.values()]
+        return sum(port.routes_opened for port in ports)
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Publish this switch's routing/traffic series.
+
+        Lazy series: ``switch.tokens_forwarded{node=...}``,
+        ``switch.tokens_delivered``, ``switch.routes_opened``,
+        ``switch.routes_closed`` and the ``switch.routes_open`` gauge.
+        Also arms the eager ``switch.route_hold_ps`` histogram, observed
+        once per route close.
+        """
+        labels = {"node": str(self.node_id)}
+        registry.counter_fn("switch.tokens_forwarded",
+                            lambda: self.tokens_forwarded, **labels)
+        registry.counter_fn("switch.tokens_delivered",
+                            lambda: self.tokens_delivered, **labels)
+        registry.counter_fn("switch.routes_opened",
+                            lambda: self.routes_opened, **labels)
+        registry.counter_fn("switch.routes_closed",
+                            lambda: self.routes_closed, **labels)
+        registry.gauge_fn("switch.routes_open",
+                          lambda: self.routes_open, **labels)
+        self.route_hold_hist = registry.histogram(
+            "switch.route_hold_ps", **labels
+        )
 
     def __repr__(self) -> str:
         return f"<Switch {self.name} at {self.coord}>"

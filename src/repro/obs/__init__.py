@@ -1,0 +1,59 @@
+"""Unified observability: metrics, trace export and simulation profiling.
+
+Three views into a running (or finished) simulation:
+
+* :mod:`repro.obs.metrics` — a labelled metrics registry
+  (``switch.tokens_forwarded{node=3}``, ``link.utilization{...}``)
+  with snapshot/delta semantics and near-zero overhead when disabled;
+* :mod:`repro.obs.trace_export` — :class:`~repro.sim.tracing.TraceRecorder`
+  exports to JSONL and Chrome trace-event format (Perfetto,
+  ``chrome://tracing``);
+* :mod:`repro.obs.profiling` — kernel self-profiling: events per
+  callback source, queue depth high-water mark, sim-time/wall-time
+  ratio.
+
+The assembled platform wires everything up:
+``SwallowSystem(...).metrics`` is a live registry,
+``SwallowSystem.trace()`` attaches a machine-wide recorder, and
+``Simulator.profile()`` measures the simulator itself.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    MetricsSnapshot,
+    series_key,
+)
+from repro.obs.profiling import SimProfile, SimProfiler, callback_source
+from repro.obs.trace_export import (
+    chrome_trace_json,
+    source_category,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SimProfile",
+    "SimProfiler",
+    "callback_source",
+    "chrome_trace_json",
+    "series_key",
+    "source_category",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

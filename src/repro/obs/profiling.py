@@ -1,0 +1,135 @@
+"""Simulation profiling: where do the *simulator's* cycles go?
+
+The energy model answers "where did the simulated joules go"; this
+module answers the meta-question every scaling PR needs: how many events
+did the kernel execute, on whose behalf, how deep did the event queue
+get, and how fast is simulated time advancing relative to wall-clock
+time.  :meth:`repro.sim.engine.Simulator.profile` installs a
+:class:`SimProfiler` for the duration of a ``with`` block and leaves a
+finished :class:`SimProfile` behind::
+
+    with sim.profile() as profile:
+        sim.run()
+    print(profile.render())
+
+Profiles deliberately live *outside* the determinism boundary: they
+include wall-clock timings, so they are never part of metric snapshots
+or trace digests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+def callback_source(callback: Callable[[], None]) -> str:
+    """A stable, human-readable name for an event callback.
+
+    Bound methods name their class (``InputPort._run``); plain functions
+    and lambdas use their qualified name with the ``<locals>`` noise
+    stripped (``HalfLink.send.<lambda>``).
+    """
+    bound_self = getattr(callback, "__self__", None)
+    if bound_self is not None:
+        return f"{type(bound_self).__name__}.{callback.__name__}"
+    name = getattr(callback, "__qualname__", None) or getattr(
+        callback, "__name__", None
+    )
+    if name is None:
+        return type(callback).__name__
+    return name.replace(".<locals>", "")
+
+
+@dataclass
+class SimProfile:
+    """The result of one profiled window of simulation."""
+
+    events_total: int = 0
+    events_by_source: dict[str, int] = field(default_factory=dict)
+    queue_depth_high_water: int = 0
+    sim_time_ps: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def sim_wall_ratio(self) -> float:
+        """Simulated seconds per wall-clock second (>1 is faster than life)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return (self.sim_time_ps / 1e12) / self.wall_time_s
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel events executed per wall-clock second."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.events_total / self.wall_time_s
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable form (sources sorted by event count)."""
+        return {
+            "events_total": self.events_total,
+            "events_by_source": dict(
+                sorted(self.events_by_source.items(),
+                       key=lambda kv: (-kv[1], kv[0]))
+            ),
+            "queue_depth_high_water": self.queue_depth_high_water,
+            "sim_time_ps": self.sim_time_ps,
+            "wall_time_s": self.wall_time_s,
+            "sim_wall_ratio": self.sim_wall_ratio,
+            "events_per_sec": self.events_per_sec,
+        }
+
+    def render(self, top: int = 12) -> str:
+        """A printable summary (the ``top`` busiest callback sources)."""
+        lines = [
+            f"profile: {self.events_total} events in {self.wall_time_s:.3f} s wall "
+            f"({self.events_per_sec:,.0f} ev/s), "
+            f"{self.sim_time_ps / 1e6:.1f} us simulated "
+            f"(sim/wall {self.sim_wall_ratio:.2e}), "
+            f"queue high-water {self.queue_depth_high_water}",
+        ]
+        ranked = sorted(self.events_by_source.items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        for source, count in ranked[:top]:
+            share = count / self.events_total if self.events_total else 0.0
+            lines.append(f"  {source:<40} {count:>10}  {share:>6.1%}")
+        if len(ranked) > top:
+            lines.append(f"  ... {len(ranked) - top} more sources")
+        return "\n".join(lines)
+
+
+class SimProfiler:
+    """Live hook object installed on a :class:`~repro.sim.engine.Simulator`.
+
+    The simulator calls :meth:`on_event` per executed event and
+    :meth:`on_queue_depth` per scheduled event; :meth:`finish` seals the
+    attached :class:`SimProfile`.
+    """
+
+    def __init__(self) -> None:
+        self.profile = SimProfile()
+        self._wall_start = time.perf_counter()
+        self._sim_start_ps: int | None = None
+
+    def on_event(self, time_ps: int, callback: Callable[[], None]) -> None:
+        """One kernel event is about to execute."""
+        if self._sim_start_ps is None:
+            self._sim_start_ps = time_ps
+        profile = self.profile
+        profile.events_total += 1
+        profile.sim_time_ps = time_ps - self._sim_start_ps
+        source = callback_source(callback)
+        by_source = profile.events_by_source
+        by_source[source] = by_source.get(source, 0) + 1
+
+    def on_queue_depth(self, depth: int) -> None:
+        """The event queue reached ``depth`` entries."""
+        if depth > self.profile.queue_depth_high_water:
+            self.profile.queue_depth_high_water = depth
+
+    def finish(self) -> SimProfile:
+        """Close the window: record wall time and return the profile."""
+        self.profile.wall_time_s = time.perf_counter() - self._wall_start
+        return self.profile

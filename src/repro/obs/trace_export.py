@@ -1,0 +1,133 @@
+"""Trace export: JSONL and Chrome trace-event format.
+
+Turns a :class:`~repro.sim.tracing.TraceRecorder` into files other tools
+can open:
+
+* **JSONL** — one JSON object per record, for ad-hoc scripting
+  (``jq``, pandas, ...).
+* **Chrome trace-event format** — loadable in Perfetto or
+  ``chrome://tracing``.  Simulation time (picoseconds) maps onto trace
+  timestamps (microseconds); every trace source (core, switch, link,
+  ADC board) gets its own named track, grouped into one process per
+  component category.
+
+Both exports are pure functions of the recorded trace, so two
+deterministic runs produce byte-identical files — the property the
+determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:
+    from repro.sim.tracing import TraceRecord
+
+#: Process ids (and display names) for the Chrome trace, per category.
+CATEGORY_PIDS: dict[str, int] = {
+    "cores": 1,
+    "switches": 2,
+    "links": 3,
+    "measurement": 4,
+    "other": 5,
+}
+
+
+def source_category(source: str) -> str:
+    """Component category of a trace source name.
+
+    Link names look like ``sw0->sw1#0``; switches are ``sw<N>``; cores
+    ``core<N>``; measurement boards ``adc...``.  Anything else lands in
+    ``other``.
+    """
+    if "->" in source:
+        return "links"
+    if source.startswith("core"):
+        return "cores"
+    if source.startswith("sw"):
+        return "switches"
+    if source.startswith("adc"):
+        return "measurement"
+    return "other"
+
+
+def to_jsonl(records: Iterable["TraceRecord"]) -> str:
+    """Serialise records as JSON Lines (one object per record)."""
+    lines = [
+        json.dumps(
+            {
+                "time_ps": rec.time_ps,
+                "source": rec.source,
+                "kind": rec.kind,
+                "detail": [str(d) for d in rec.detail],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for rec in records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_chrome_trace(records: Iterable["TraceRecord"]) -> dict[str, Any]:
+    """Build a Chrome trace-event document from trace records.
+
+    Every record becomes a thread-scoped *instant* event (``"ph": "i"``)
+    on the track of its source; metadata events name one process per
+    component category and one thread per source.  Timestamps are
+    microseconds (``time_ps / 1e6``), the unit the trace viewers expect.
+    """
+    records = list(records)
+    sources: dict[str, str] = {}
+    for rec in records:
+        sources.setdefault(rec.source, source_category(rec.source))
+    tids = {source: tid for tid, source in enumerate(sorted(sources))}
+
+    events: list[dict[str, Any]] = []
+    for category in sorted({*sources.values()}):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": CATEGORY_PIDS[category],
+            "tid": 0,
+            "args": {"name": f"swallow.{category}"},
+        })
+    for source in sorted(sources):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": CATEGORY_PIDS[sources[source]],
+            "tid": tids[source],
+            "args": {"name": source},
+        })
+    for rec in records:
+        events.append({
+            "name": rec.kind,
+            "cat": sources[rec.source],
+            "ph": "i",
+            "s": "t",
+            "ts": rec.time_ps / 1e6,
+            "pid": CATEGORY_PIDS[sources[rec.source]],
+            "tid": tids[rec.source],
+            "args": {"detail": [str(d) for d in rec.detail]},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def chrome_trace_json(records: Iterable["TraceRecord"]) -> str:
+    """The Chrome trace document as canonical (byte-stable) JSON."""
+    return json.dumps(to_chrome_trace(records), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_jsonl(records: Iterable["TraceRecord"], path) -> None:
+    """Write the JSONL export to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(records))
+
+
+def write_chrome_trace(records: Iterable["TraceRecord"], path) -> None:
+    """Write the Chrome trace-event export to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(records))

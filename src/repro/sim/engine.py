@@ -12,12 +12,32 @@ pure function of its configuration.
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profiling import SimProfile
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling or a wedged simulation."""
+
+
+@dataclass
+class KernelStats:
+    """Process-wide kernel counters (all simulators, whole interpreter).
+
+    The benchmark harness reads this to attribute events-per-second to
+    each bench without instrumenting every ``Simulator`` it creates.
+    """
+
+    events_executed: int = 0
+
+
+#: The interpreter-wide kernel ledger (see :class:`KernelStats`).
+KERNEL_STATS = KernelStats()
 
 
 @dataclass(order=True)
@@ -67,6 +87,8 @@ class Simulator:
         self._now = 0
         self._events_processed = 0
         self._running = False
+        self._queue_hwm = 0
+        self._profiler = None
 
     @property
     def now(self) -> int:
@@ -83,6 +105,11 @@ class Simulator:
         """Number of queued (non-cancelled) events."""
         return sum(1 for e in self._queue if not e.cancelled)
 
+    @property
+    def queue_depth_high_water(self) -> int:
+        """The deepest the event queue has ever been (cancelled included)."""
+        return self._queue_hwm
+
     def schedule(self, delay_ps: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay_ps`` picoseconds from now."""
         if delay_ps < 0:
@@ -98,6 +125,11 @@ class Simulator:
         event = _QueuedEvent(time=time_ps, seq=self._seq, callback=callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        depth = len(self._queue)
+        if depth > self._queue_hwm:
+            self._queue_hwm = depth
+        if self._profiler is not None:
+            self._profiler.on_queue_depth(depth)
         return EventHandle(event)
 
     def step(self) -> bool:
@@ -108,6 +140,8 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
+            if self._profiler is not None:
+                self._profiler.on_event(event.time, event.callback)
             event.callback()
             return True
         return False
@@ -128,6 +162,7 @@ class Simulator:
                     break
         finally:
             self._running = False
+            KERNEL_STATS.events_executed += executed
         return executed
 
     def run_until(self, time_ps: int) -> int:
@@ -155,12 +190,55 @@ class Simulator:
                 executed += 1
         finally:
             self._running = False
+            KERNEL_STATS.events_executed += executed
         self._now = max(self._now, time_ps)
         return executed
 
     def run_for(self, duration_ps: int) -> int:
         """Run for ``duration_ps`` picoseconds of simulated time."""
         return self.run_until(self._now + duration_ps)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def profile(self) -> "Iterator[SimProfile]":
+        """Profile the simulator for the duration of a ``with`` block.
+
+        Yields a :class:`~repro.obs.profiling.SimProfile` that is filled
+        in as events execute and sealed (wall time measured) on exit::
+
+            with sim.profile() as profile:
+                sim.run()
+            print(profile.render())
+
+        Profiling nests: an inner ``profile()`` temporarily replaces the
+        outer hook and restores it on exit.
+        """
+        from repro.obs.profiling import SimProfiler
+
+        profiler = SimProfiler()
+        previous = self._profiler
+        self._profiler = profiler
+        try:
+            yield profiler.profile
+        finally:
+            self._profiler = previous
+            profiler.finish()
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Publish kernel health series on a metrics registry.
+
+        Series: ``sim.events_processed``, ``sim.pending_events``,
+        ``sim.queue_depth_hwm`` and ``sim.now_ps`` — all collected
+        lazily, so registration adds no per-event cost.
+        """
+        registry.counter_fn("sim.events_processed",
+                            lambda: self._events_processed)
+        registry.gauge_fn("sim.pending_events", lambda: self.pending_events)
+        registry.gauge_fn("sim.queue_depth_hwm", lambda: self._queue_hwm)
+        registry.gauge_fn("sim.now_ps", lambda: self._now)
 
 
 class Process:

@@ -13,6 +13,7 @@ Traces serve three purposes:
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
@@ -32,21 +33,39 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceRecord` objects, optionally filtered by kind."""
+    """Collects :class:`TraceRecord` objects, optionally filtered by kind.
+
+    A bounded recorder is a *flight recorder*: when ``capacity`` records
+    are held and a new one arrives, the **oldest** record is discarded so
+    the trace always ends with the most recent activity (the part you
+    want when something goes wrong at the end of a long run).  Every
+    discard increments :attr:`dropped`, and ``repr()``/stats surface the
+    count so truncation is never silent.
+    """
 
     def __init__(self, kinds: Iterable[str] | None = None, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._kinds = set(kinds) if kinds is not None else None
         self._capacity = capacity
-        self._records: list[TraceRecord] = []
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self.dropped = 0
 
+    @property
+    def capacity(self) -> int | None:
+        """Maximum records retained (None = unbounded)."""
+        return self._capacity
+
     def record(self, time_ps: int, source: str, kind: str, *detail: Any) -> None:
-        """Append a record (subject to the kind filter and capacity)."""
+        """Append a record (subject to the kind filter and capacity).
+
+        At capacity the oldest record is evicted (ring-buffer
+        semantics) and :attr:`dropped` counts the eviction.
+        """
         if self._kinds is not None and kind not in self._kinds:
             return
         if self._capacity is not None and len(self._records) >= self._capacity:
             self.dropped += 1
-            return
         self._records.append(TraceRecord(time_ps, source, kind, detail))
 
     def __len__(self) -> int:
@@ -102,6 +121,41 @@ class TraceRecorder:
         """Drop all records (capacity and filters are kept)."""
         self._records.clear()
         self.dropped = 0
+
+    # -- export (see :mod:`repro.obs.trace_export`) -------------------------
+
+    def to_jsonl(self) -> str:
+        """The trace as JSON Lines (one object per record)."""
+        from repro.obs.trace_export import to_jsonl
+
+        return to_jsonl(self._records)
+
+    def to_chrome_trace(self) -> dict:
+        """The trace as a Chrome trace-event document (Perfetto-loadable)."""
+        from repro.obs.trace_export import to_chrome_trace
+
+        return to_chrome_trace(self._records)
+
+    def to_chrome_trace_json(self) -> str:
+        """The Chrome trace document as canonical, byte-stable JSON."""
+        from repro.obs.trace_export import chrome_trace_json
+
+        return chrome_trace_json(self._records)
+
+    def stats(self) -> dict[str, int]:
+        """Recorder health: records held, capacity and drop count."""
+        return {
+            "records": len(self._records),
+            "capacity": -1 if self._capacity is None else self._capacity,
+            "dropped": self.dropped,
+        }
+
+    def __repr__(self) -> str:
+        capacity = "inf" if self._capacity is None else self._capacity
+        return (
+            f"<TraceRecorder {len(self._records)}/{capacity} records, "
+            f"{self.dropped} dropped>"
+        )
 
 
 class NullTracer(TraceRecorder):

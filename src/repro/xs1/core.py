@@ -367,6 +367,36 @@ class XCore:
         """Record one completed instruction for the energy model."""
         self.stats.instructions[energy_class] += 1
 
+    def register_metrics(self, registry) -> None:
+        """Publish this core's execution series (lazily collected).
+
+        One ``core.instructions{node=...,opcode_class=...}`` series per
+        energy class actually executed, plus issue-slot counters
+        (``core.slots_issued``, ``core.slots_bubble``), the scheduler
+        gauges (``core.active_threads``, ``core.live_threads``) and the
+        blocking counter ``core.thread_pauses``.
+        """
+        node = str(self.node_id)
+
+        def _collect(emit) -> None:
+            labels = {"node": node}
+            for energy_class in sorted(self.stats.instructions,
+                                       key=lambda c: c.value):
+                emit(
+                    "core.instructions",
+                    {"node": node, "opcode_class": energy_class.value},
+                    self.stats.instructions[energy_class],
+                )
+            emit("core.slots_issued", labels, self.stats.slots_issued)
+            emit("core.slots_bubble", labels, self.stats.slots_bubble)
+            emit("core.active_threads", labels, self.active_threads)
+            emit("core.live_threads", labels, self.live_threads)
+            emit("core.thread_pauses", labels,
+                 sum(thread.pauses for thread in self.threads))
+            emit("core.frequency_hz", labels, self._frequency.hz)
+
+        registry.register_collector(_collect)
+
     def __repr__(self) -> str:
         return (
             f"<XCore {self.name} node={self.node_id} f={self._frequency} "

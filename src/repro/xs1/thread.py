@@ -57,6 +57,9 @@ class HardwareThread:
         self.next_issue_cycle = 0
         self.instructions_executed = 0
         self.pause_reason: str | None = None
+        #: Times this thread blocked (channel, lock, wait) — an
+        #: observability counter surfaced as ``core.thread_pauses``.
+        self.pauses = 0
         #: True while blocked in ``waiteu`` awaiting an enabled event.
         self.waiting_for_event = False
         #: Resources whose events this thread has enabled (``eeu``).
@@ -78,6 +81,7 @@ class HardwareThread:
             raise TrapError(f"{self.name}: cannot pause a halted thread")
         self.state = ThreadState.PAUSED
         self.pause_reason = reason
+        self.pauses += 1
         self.core.on_thread_paused(self)
 
     def resume(self) -> None:

@@ -1,0 +1,214 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, series_key
+
+
+class TestSeriesKey:
+    def test_no_labels(self):
+        assert series_key("sim.events") == "sim.events"
+
+    def test_labels_sorted(self):
+        assert (
+            series_key("core.instructions", {"opcode_class": "alu", "node": "3"})
+            == "core.instructions{node=3,opcode_class=alu}"
+        )
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests", node="1")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_memoized_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", node="1") is reg.counter("x", node="1")
+        assert reg.counter("x", node="1") is not reg.counter("x", node="2")
+
+    def test_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_gauge_set_and_add(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+    def test_histogram_buckets_cumulative(self):
+        h = MetricsRegistry().histogram("lat", buckets=(10, 100, 1000))
+        for v in (5, 50, 50, 500, 5000):
+            h.observe(v)
+        sample = h.sample_value()
+        assert sample["count"] == 5
+        assert sample["sum"] == 5605
+        assert sample["buckets"] == {"10": 1, "100": 3, "1000": 4, "+Inf": 5}
+
+
+class TestDisabled:
+    def test_disabled_instruments_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x")
+        c.inc(100)
+        assert c.value == 0
+        g = reg.gauge("y")
+        g.set(5)
+        assert g.value == 0
+        h = reg.histogram("z", buckets=(1,))
+        h.observe(0.5)
+        assert h.total == 0
+
+    def test_disabled_snapshot_empty_and_skips_collectors(self):
+        reg = MetricsRegistry(enabled=False)
+        calls = []
+        reg.register_collector(lambda emit: calls.append(1))
+        snap = reg.snapshot()
+        assert len(snap) == 0
+        assert calls == []
+
+    def test_enable_re_arms(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x")
+        reg.enable()
+        c.inc()
+        assert c.value == 1
+        reg.disable()
+        c.inc()
+        assert c.value == 1
+
+
+class TestSnapshot:
+    def test_collectors_polled_lazily(self):
+        reg = MetricsRegistry()
+        state = {"n": 0}
+        reg.counter_fn("lazy.count", lambda: state["n"], node="0")
+        state["n"] = 42
+        assert reg.snapshot().value("lazy.count", node="0") == 42
+
+    def test_multi_series_collector(self):
+        reg = MetricsRegistry()
+
+        def collect(emit):
+            emit("instr", {"cls": "alu"}, 10)
+            emit("instr", {"cls": "mem"}, 7)
+
+        reg.register_collector(collect)
+        snap = reg.snapshot()
+        assert snap.sum("instr") == 17
+        assert snap.value("instr", cls="mem") == 7
+
+    def test_duplicate_series_raises(self):
+        reg = MetricsRegistry()
+        reg.counter_fn("x", lambda: 1)
+        reg.counter_fn("x", lambda: 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.snapshot()
+
+    def test_delta(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(3)
+        first = reg.snapshot()
+        c.inc(4)
+        second = reg.snapshot()
+        assert second.delta(first)["x"] == 4
+
+    def test_delta_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10,))
+        h.observe(1)
+        first = reg.snapshot()
+        h.observe(2)
+        h.observe(3)
+        delta = reg.snapshot().delta(first)
+        assert delta["lat"] == {"count": 2, "sum": 5}
+
+    def test_to_json_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        text = reg.snapshot().to_json()
+        assert text == '{"a":1,"b":2}'
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+    def test_render_filters_by_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("core.x").inc()
+        reg.counter("link.y").inc()
+        text = reg.snapshot().render(prefix="core.")
+        assert "core.x" in text and "link.y" not in text
+
+
+class TestSystemRegistry:
+    """The assembled platform publishes the documented taxonomy."""
+
+    def _loaded_system(self):
+        from repro import CheckCt, Compute, RecvWord, SendCt, SendWord, SwallowSystem
+        from repro.network.token import CT_END
+
+        system = SwallowSystem()
+        channel = system.channel(system.core(0), system.core(9))
+
+        def producer():
+            for i in range(3):
+                yield Compute(50)
+                yield SendWord(channel.a, i)
+            yield SendCt(channel.a, CT_END)
+
+        def consumer():
+            for _ in range(3):
+                yield RecvWord(channel.b)
+            yield CheckCt(channel.b, CT_END)
+
+        system.spawn_task(system.core(0), producer())
+        system.spawn_task(system.core(9), consumer())
+        system.run()
+        return system
+
+    def test_taxonomy_present(self):
+        system = self._loaded_system()
+        snap = system.metrics_snapshot()
+        assert snap.value("sim.events_processed") > 0
+        assert snap.value("sim.queue_depth_hwm") > 0
+        assert snap.sum("switch.tokens_forwarded") > 0
+        assert snap.sum("switch.tokens_delivered") > 0
+        assert snap.sum("link.tokens") > 0
+        assert snap.sum("core.instructions", node="0") > 0
+        assert snap.value("energy.elapsed_s") > 0
+        hold = snap.value("switch.route_hold_ps", default=None, node="0")
+        assert hold is not None and hold["count"] >= 1
+
+    def test_report_agrees_with_metrics(self):
+        """The energy report is a view over the metrics snapshot."""
+        system = self._loaded_system()
+        snap = system.metrics_snapshot()
+        report = system.energy_report()
+        for row in report.cores:
+            node = str(row.node_id)
+            assert row.instructions == int(
+                snap.sum("core.instructions", node=node)
+            )
+            assert row.energy_j == snap.value("energy.core_j", node=node)
+        assert report.link_energy_j == snap.value("energy.links_j")
+        assert report.support_energy_j == snap.value("energy.support_j")
+
+    def test_metrics_disabled_system_still_reports(self):
+        from repro import SwallowSystem
+
+        system = SwallowSystem(metrics=False)
+        system.run()
+        assert len(system.metrics_snapshot()) == 0
+        assert system.energy_report().total_energy_j >= 0

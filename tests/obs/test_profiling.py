@@ -1,0 +1,121 @@
+"""Tests for simulation profiling (repro.obs.profiling + engine hooks)."""
+
+from repro.obs.profiling import SimProfile, callback_source
+from repro.sim import Simulator
+from repro.sim.engine import KERNEL_STATS
+
+
+class TestCallbackSource:
+    def test_bound_method(self):
+        sim = Simulator()
+        assert callback_source(sim.step) == "Simulator.step"
+
+    def test_plain_function(self):
+        def fire():
+            pass
+
+        name = callback_source(fire)
+        assert name.endswith("fire") and "<locals>" not in name
+
+    def test_lambda(self):
+        assert "<locals>" not in callback_source(lambda: None)
+
+
+class TestSimulatorProfile:
+    def test_counts_events_by_source(self):
+        sim = Simulator()
+
+        def tick():
+            pass
+
+        for i in range(5):
+            sim.schedule(i * 10, tick)
+        with sim.profile() as profile:
+            sim.run()
+        assert profile.events_total == sim.events_processed
+        by_source = profile.events_by_source
+        assert sum(by_source.values()) == profile.events_total
+        assert any("tick" in source for source in by_source)
+
+    def test_queue_depth_high_water(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(i, lambda: None)
+        with sim.profile() as profile:
+            sim.schedule(50, lambda: None)
+            sim.run()
+        assert sim.queue_depth_high_water == 8
+        assert profile.queue_depth_high_water == 8
+
+    def test_wall_and_sim_time_recorded(self):
+        sim = Simulator()
+        sim.schedule(0, lambda: None)
+        sim.schedule(1_000_000, lambda: None)
+        with sim.profile() as profile:
+            sim.run()
+        assert profile.wall_time_s > 0
+        assert profile.sim_time_ps == 1_000_000
+        assert profile.sim_wall_ratio > 0
+        assert profile.events_per_sec > 0
+
+    def test_profiler_removed_after_block(self):
+        sim = Simulator()
+        with sim.profile():
+            pass
+        assert sim._profiler is None
+        sim.schedule(0, lambda: None)
+        sim.run()  # must not touch the sealed profile
+
+    def test_profile_render_and_dict(self):
+        sim = Simulator()
+        sim.schedule(0, lambda: None)
+        with sim.profile() as profile:
+            sim.run()
+        text = profile.render()
+        assert "1 events" in text
+        data = profile.to_dict()
+        assert data["events_total"] == 1
+        assert set(data) >= {
+            "events_by_source", "queue_depth_high_water", "sim_time_ps",
+            "wall_time_s", "sim_wall_ratio", "events_per_sec",
+        }
+
+    def test_empty_profile_ratios_are_zero(self):
+        profile = SimProfile()
+        assert profile.sim_wall_ratio == 0.0
+        assert profile.events_per_sec == 0.0
+
+
+class TestKernelStats:
+    def test_run_accumulates_global_ledger(self):
+        before = KERNEL_STATS.events_executed
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert KERNEL_STATS.events_executed - before == 4
+
+    def test_run_until_accumulates(self):
+        before = KERNEL_STATS.events_executed
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run_until(100)
+        assert KERNEL_STATS.events_executed - before == 1
+
+
+class TestSystemProfile:
+    def test_system_profile_context(self):
+        from repro import SwallowSystem, assemble
+
+        system = SwallowSystem()
+        system.spawn(system.core(0), assemble("""
+            ldc r0, 20
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """))
+        with system.profile() as profile:
+            system.run()
+        assert profile.events_total > 0
+        assert "XCore._tick" in profile.events_by_source

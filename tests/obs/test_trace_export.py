@@ -1,0 +1,158 @@
+"""Tests for trace export (JSONL + Chrome trace-event format)."""
+
+import json
+
+from repro.obs import source_category, to_chrome_trace, to_jsonl
+from repro.sim import TraceRecorder
+
+#: Keys a Chrome trace-event viewer requires on every event.
+REQUIRED_EVENT_KEYS = {"name", "ph", "pid", "tid"}
+
+
+def _sample_recorder() -> TraceRecorder:
+    recorder = TraceRecorder()
+    recorder.record(1000, "core0", "issue", "core0.t0")
+    recorder.record(2000, "sw0", "route_open", "sw0.c2", "node1:c0")
+    recorder.record(3000, "sw0->sw1#0", "token", "DT:2a")
+    recorder.record(4000, "sw1", "deliver", "node1:c0", "DT:2a")
+    recorder.record(5000, "adc0,0", "sample", 5)
+    return recorder
+
+
+class TestSourceCategory:
+    def test_categories(self):
+        assert source_category("core12") == "cores"
+        assert source_category("sw3") == "switches"
+        assert source_category("sw0->sw1#0") == "links"
+        assert source_category("adc0,0") == "measurement"
+        assert source_category("whatever") == "other"
+
+
+class TestJsonl:
+    def test_one_object_per_record(self):
+        text = to_jsonl(_sample_recorder().records)
+        lines = text.strip().split("\n")
+        assert len(lines) == 5
+        first = json.loads(lines[0])
+        assert first == {
+            "time_ps": 1000, "source": "core0", "kind": "issue",
+            "detail": ["core0.t0"],
+        }
+
+    def test_empty_trace(self):
+        assert to_jsonl([]) == ""
+
+    def test_recorder_method(self):
+        recorder = _sample_recorder()
+        assert recorder.to_jsonl() == to_jsonl(recorder.records)
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        """Every event carries the fields trace viewers require."""
+        doc = to_chrome_trace(_sample_recorder().records)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        for event in doc["traceEvents"]:
+            assert REQUIRED_EVENT_KEYS <= set(event)
+            assert event["ph"] in ("M", "i")
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+                assert isinstance(event["ts"], float)
+                assert isinstance(event["pid"], int)
+                assert isinstance(event["tid"], int)
+            else:
+                assert event["name"] in ("process_name", "thread_name")
+                assert "name" in event["args"]
+
+    def test_round_trips_through_json(self):
+        recorder = _sample_recorder()
+        doc = json.loads(recorder.to_chrome_trace_json())
+        assert doc == recorder.to_chrome_trace()
+
+    def test_one_track_per_source(self):
+        doc = to_chrome_trace(_sample_recorder().records)
+        threads = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert sorted(threads.values()) == [
+            "adc0,0", "core0", "sw0", "sw0->sw1#0", "sw1",
+        ]
+        # distinct sources never share a (pid, tid) track
+        assert len(threads) == len(set(threads.values()))
+
+    def test_timestamps_are_microseconds(self):
+        doc = to_chrome_trace(_sample_recorder().records)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["ts"] == 1000 / 1e6
+
+    def test_process_names_cover_categories(self):
+        doc = to_chrome_trace(_sample_recorder().records)
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {
+            "swallow.cores", "swallow.switches", "swallow.links",
+            "swallow.measurement",
+        }
+
+
+class TestSystemTrace:
+    def test_demo_run_exports_valid_chrome_trace(self, tmp_path):
+        """End-to-end: a traced system run produces a loadable document."""
+        from repro import CheckCt, Compute, RecvWord, SendCt, SendWord, SwallowSystem
+        from repro.network.token import CT_END
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        system = SwallowSystem()
+        recorder = system.trace()
+        channel = system.channel(system.core(0), system.core(5))
+
+        def producer():
+            yield Compute(100)
+            yield SendWord(channel.a, 99)
+            yield SendCt(channel.a, CT_END)
+
+        def consumer():
+            yield RecvWord(channel.b)
+            yield CheckCt(channel.b, CT_END)
+
+        system.spawn_task(system.core(0), producer())
+        system.spawn_task(system.core(5), consumer())
+        system.run()
+        assert len(recorder) > 0
+        kinds = {record.kind for record in recorder}
+        assert {"issue", "route_open", "route_close", "token"} <= kinds
+
+        chrome_path = tmp_path / "trace.json"
+        write_chrome_trace(recorder.records, chrome_path)
+        doc = json.loads(chrome_path.read_text())
+        assert doc["traceEvents"]
+
+        jsonl_path = tmp_path / "trace.jsonl"
+        write_jsonl(recorder.records, jsonl_path)
+        lines = jsonl_path.read_text().strip().split("\n")
+        assert len(lines) == len(recorder)
+
+    def test_trace_capacity_flight_recorder(self):
+        from repro import SwallowSystem, assemble
+
+        system = SwallowSystem()
+        recorder = system.trace(kinds={"issue"}, capacity=10)
+        system.spawn(system.core(0), assemble("""
+            ldc r0, 100
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """))
+        system.run()
+        assert len(recorder) == 10
+        assert recorder.dropped > 0
+        # flight recorder: what's retained is the *end* of the run
+        last_issue_time = recorder.records[-1].time_ps
+        assert all(r.time_ps <= last_issue_time for r in recorder.records)
+        assert recorder.records[0].time_ps > 0

@@ -67,6 +67,43 @@ class TestKernelDeterminism:
         assert order == sorted(order)
 
 
+class TestObservabilityDeterminism:
+    """Identical configs must yield byte-identical snapshots and exports."""
+
+    @staticmethod
+    def _run_demo(seed: int):
+        from repro.__main__ import _demo_workload
+        from repro import SwallowSystem
+
+        system = SwallowSystem()
+        recorder = system.trace()
+        _demo_workload(system, seed=seed)
+        system.run()
+        return system, recorder
+
+    def test_metric_snapshots_byte_identical(self):
+        first, _ = self._run_demo(seed=11)
+        second, _ = self._run_demo(seed=11)
+        a = first.metrics_snapshot().to_json()
+        b = second.metrics_snapshot().to_json()
+        assert a == b
+        assert len(a) > 2  # not trivially empty
+
+    def test_trace_exports_byte_identical(self):
+        _, first = self._run_demo(seed=11)
+        _, second = self._run_demo(seed=11)
+        assert first.to_chrome_trace_json() == second.to_chrome_trace_json()
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_different_seeds_diverge(self):
+        first, _ = self._run_demo(seed=11)
+        second, _ = self._run_demo(seed=12)
+        assert (
+            first.metrics_snapshot().to_json()
+            != second.metrics_snapshot().to_json()
+        )
+
+
 class TestSystemDeterminism:
     def test_full_machine_digest_stable(self):
         """A loaded multi-slice machine replays to an identical trace."""

@@ -17,12 +17,33 @@ class TestTraceRecorder:
         tracer.record(2, "core0", "token")
         assert len(tracer) == 1
 
-    def test_capacity_drops_and_counts(self):
+    def test_capacity_keeps_newest_and_counts_drops(self):
+        """A full recorder behaves as a flight recorder: oldest evicted."""
         tracer = TraceRecorder(capacity=2)
         for t in range(5):
             tracer.record(t, "x", "k")
         assert len(tracer) == 2
         assert tracer.dropped == 3
+        assert [r.time_ps for r in tracer] == [3, 4]
+
+    def test_repr_surfaces_drops(self):
+        tracer = TraceRecorder(capacity=1)
+        tracer.record(1, "x", "k")
+        tracer.record(2, "x", "k")
+        assert "1/1" in repr(tracer) and "1 dropped" in repr(tracer)
+        assert tracer.stats() == {"records": 1, "capacity": 1, "dropped": 1}
+
+    def test_unbounded_repr(self):
+        tracer = TraceRecorder()
+        tracer.record(1, "x", "k")
+        assert "1/inf" in repr(tracer)
+        assert tracer.capacity is None
+
+    def test_invalid_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
 
     def test_filter_by_source_and_kind(self):
         tracer = TraceRecorder()

@@ -11,6 +11,7 @@ import repro
 SUBPACKAGES = [
     "repro.sim", "repro.xs1", "repro.network", "repro.board",
     "repro.energy", "repro.analysis", "repro.apps", "repro.core",
+    "repro.obs",
 ]
 
 
