@@ -34,6 +34,7 @@ survey tables), :mod:`repro.apps` (parallel patterns), and
 from repro.apps import (
     AppChannel,
     Placement,
+    ReliableChannel,
     SharedMemoryServer,
     build_client_server,
     build_message_ring,
@@ -48,6 +49,7 @@ from repro.core import (
     PowerGovernor,
     SwallowSystem,
 )
+from repro.faults import FaultCampaign, HealthMonitor
 from repro.energy import (
     EnergyAccounting,
     InstructionEnergyModel,
@@ -69,6 +71,7 @@ from repro.xs1 import (
     CheckCt,
     Compute,
     Program,
+    RecvPacket,
     RecvToken,
     RecvWord,
     SendCt,
@@ -92,7 +95,9 @@ __all__ = [
     "EnergyAccounting",
     "EnergyReport",
     "EthernetBridge",
+    "FaultCampaign",
     "Frequency",
+    "HealthMonitor",
     "InstructionEnergyModel",
     "Layer",
     "MeasurementBoard",
@@ -103,8 +108,10 @@ __all__ = [
     "Placement",
     "PowerGovernor",
     "Program",
+    "RecvPacket",
     "RecvToken",
     "RecvWord",
+    "ReliableChannel",
     "SendCt",
     "SendToken",
     "SendWord",

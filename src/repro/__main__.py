@@ -11,7 +11,10 @@ Commands:
   plus a kernel profile (events by source, sim/wall ratio);
 * ``trace``  — run the demo workload with machine-wide tracing and
   export it as Chrome trace-event JSON (Perfetto/chrome://tracing)
-  or JSONL.
+  or JSONL;
+* ``faults`` — run a reliable word stream under a fault campaign
+  (default: a flaky link on the stream's route; ``--spec FILE`` for a
+  JSON campaign) and print the campaign report.
 """
 
 from __future__ import annotations
@@ -206,6 +209,62 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro import SwallowSystem
+    from repro.apps.reliable import ReliableChannel
+    from repro.faults import FaultCampaign, FlakyLink
+    from repro.network.routing import Layer
+
+    system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
+    topology = system.topology
+    node_a = topology.node_at(0, 0, Layer.VERTICAL)
+    node_b = topology.node_at(0, 1, Layer.VERTICAL)
+    cores = {core.node_id: core for core in system.cores}
+    channel = ReliableChannel.between(cores[node_a], cores[node_b])
+    received: list[int] = []
+
+    def producer():
+        for i in range(args.words):
+            yield from channel.send(i * 7 + 1)
+
+    def consumer():
+        for _ in range(args.words):
+            received.append((yield from channel.recv()))
+        yield from channel.drain()
+
+    system.spawn_task(cores[node_a], producer(), name="faults.tx")
+    system.spawn_task(cores[node_b], consumer(), name="faults.rx")
+
+    if args.spec:
+        with open(args.spec) as handle:
+            campaign = FaultCampaign.from_spec(system, json.load(handle))
+        campaign.seed = args.seed if args.seed is not None else campaign.seed
+        campaign.rng.seed(campaign.seed)
+    else:
+        campaign = FaultCampaign(
+            system,
+            [FlakyLink(at_us=0.0, node_a=node_a, node_b=node_b,
+                       drop_rate=args.drop_rate)],
+            seed=args.seed if args.seed is not None else 0,
+        )
+    campaign.register_channel("stream", channel)
+    campaign.register_metrics(system.metrics)
+    campaign.arm()
+    system.run()
+    report = campaign.report()
+    expected = [i * 7 + 1 for i in range(args.words)]
+    if args.json:
+        print(json.dumps(
+            {"delivered_ok": received == expected, "report": report.to_dict()},
+            sort_keys=True,
+        ))
+        return 0 if received == expected else 1
+    print(report.render())
+    print(f"stream: {len(received)}/{args.words} words delivered, "
+          f"{'intact' if received == expected else 'CORRUPTED'}")
+    return 0 if received == expected else 1
+
+
 def _positive_int(text: str) -> int:
     """Argparse type for values that must be >= 1."""
     value = int(text)
@@ -270,6 +329,22 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("--capacity", type=_positive_int, default=None,
                        help="flight-recorder bound on retained records")
     trace.set_defaults(func=cmd_trace)
+    faults = subparsers.add_parser(
+        "faults", help="run a reliable stream under a fault campaign"
+    )
+    faults.add_argument("--slices-x", type=int, default=1)
+    faults.add_argument("--slices-y", type=int, default=1)
+    faults.add_argument("--seed", type=int, default=None,
+                        help="campaign seed (deterministic)")
+    faults.add_argument("--words", type=_positive_int, default=16,
+                        help="payload words to stream reliably")
+    faults.add_argument("--drop-rate", type=float, default=0.05,
+                        help="default campaign's flaky-link drop rate")
+    faults.add_argument("--spec", default=None,
+                        help="JSON campaign spec file (see FaultCampaign.from_spec)")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the campaign report as JSON")
+    faults.set_defaults(func=cmd_faults)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -25,11 +25,21 @@ from repro.apps.patterns import (
     shmem_read,
     shmem_write,
 )
+from repro.apps.reliable import (
+    ReliableChannel,
+    ReliableChannelError,
+    ReliableStats,
+    frame_checksum,
+)
 
 __all__ = [
     "AppChannel",
     "Kernel",
     "PatternResult",
+    "ReliableChannel",
+    "ReliableChannelError",
+    "ReliableStats",
+    "frame_checksum",
     "bubble_sort",
     "build_bsp",
     "checksum32",

@@ -1,0 +1,266 @@
+"""Reliable channels: delivery guarantees over a lossy fabric.
+
+Plain XS1 channels assume the links underneath never lose a token.  A
+fault campaign (:mod:`repro.faults`) breaks that assumption: flaky links
+drop or corrupt payload tokens, and forced link failures sever routes
+mid-packet.  :class:`ReliableChannel` restores exactly-once, in-order
+word delivery on top of ordinary chanend operations with a classic
+stop-and-wait protocol:
+
+* every payload word travels in a 3-word frame ``[seq, value, checksum]``
+  closed by END;
+* the receiver validates length and checksum, acknowledges every valid
+  frame (including duplicates, whose earlier ack may have been lost),
+  and deduplicates by sequence number;
+* the sender retransmits on ack timeout or on a malformed ack, with
+  exponential backoff, up to ``max_retries`` attempts.
+
+Retransmissions are real traffic: they cross the same switches and
+links, so their time and energy land in the normal accounting.  The
+channel additionally tracks the retransmitted wire bits so a campaign
+report can attribute the *retry share* of link energy
+(:meth:`ReliableChannel.retry_energy_j`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.channels import AppChannel
+from repro.network.token import HEADER_TOKENS, TOKEN_BITS, TOKENS_PER_WORD
+from repro.xs1.behavioral import RecvPacket, SendCt, SendWord, Sleep
+from repro.xs1.chanend import Chanend
+from repro.xs1.core import XCore
+from repro.xs1.isa import CT_END
+
+#: Payload words per data frame: sequence number, value, checksum.
+FRAME_WORDS = 3
+
+#: Wire tokens of one data-frame transmission (route header + payload
+#: tokens + closing END) — used to account retransmitted bits.
+FRAME_WIRE_TOKENS = HEADER_TOKENS + FRAME_WORDS * TOKENS_PER_WORD + 1
+
+#: Ack payload is ``ACK_MAGIC ^ seq`` so a stale or corrupted ack can
+#: never be mistaken for the one the sender is waiting on.
+ACK_MAGIC = 0xA5C3_9D1E
+
+
+class ReliableChannelError(RuntimeError):
+    """A transfer exhausted its retry budget."""
+
+
+def frame_checksum(seq: int, value: int) -> int:
+    """A deterministic 32-bit mix of sequence number and payload."""
+    mixed = (seq * 0x9E37_79B1) ^ ((value & 0xFFFF_FFFF) * 0x85EB_CA6B)
+    mixed &= 0xFFFF_FFFF
+    return mixed ^ (mixed >> 16)
+
+
+def _word(token_values: list[int]) -> int:
+    """Reassemble four 8-bit token values (MSB first) into a word."""
+    return (
+        (token_values[0] << 24) | (token_values[1] << 16)
+        | (token_values[2] << 8) | token_values[3]
+    )
+
+
+@dataclass
+class ReliableStats:
+    """Protocol counters of one reliable channel (both directions)."""
+
+    frames_sent: int = 0
+    acked: int = 0
+    delivered: int = 0
+    retries: int = 0
+    ack_timeouts: int = 0
+    bad_acks: int = 0
+    invalid_frames: int = 0
+    checksum_failures: int = 0
+    duplicates: int = 0
+    recv_timeouts: int = 0
+    #: Estimated wire bits of retransmitted data frames (for energy
+    #: attribution; the first transmission of each frame is not a retry).
+    retry_bits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (stable key order)."""
+        return {
+            "frames_sent": self.frames_sent,
+            "acked": self.acked,
+            "delivered": self.delivered,
+            "retries": self.retries,
+            "ack_timeouts": self.ack_timeouts,
+            "bad_acks": self.bad_acks,
+            "invalid_frames": self.invalid_frames,
+            "checksum_failures": self.checksum_failures,
+            "duplicates": self.duplicates,
+            "recv_timeouts": self.recv_timeouts,
+            "retry_bits": self.retry_bits,
+        }
+
+
+@dataclass
+class ReliableChannel:
+    """Stop-and-wait reliable word transport over an :class:`AppChannel`.
+
+    The ``send``/``recv`` methods are generators meant to be driven with
+    ``yield from`` inside behavioural-thread bodies, exactly like the
+    raw operations they wrap::
+
+        def producer():
+            for i in range(100):
+                yield from rchan.send(i)
+
+        def consumer():
+            for _ in range(100):
+                value = yield from rchan.recv()
+    """
+
+    channel: AppChannel
+    #: Core cycles the sender waits for an ack before retransmitting.
+    ack_timeout_cycles: int = 20_000
+    #: Retransmissions allowed per frame before giving up.
+    max_retries: int = 100
+    #: Optional receive-side deadline per packet; ``None`` waits forever
+    #: (END tokens always arrive on merely *flaky* links — only a severed
+    #: route can strand the receiver, and retransmission resolves that).
+    recv_timeout_cycles: int | None = None
+    stats: ReliableStats = field(default_factory=ReliableStats)
+    _tx_seq: int = 0
+    _rx_seq: int = 0
+
+    @classmethod
+    def between(cls, core_a: XCore, core_b: XCore, **kwargs) -> "ReliableChannel":
+        """Allocate a channel between two cores; ``a`` sends, ``b`` receives."""
+        return cls(channel=AppChannel.between(core_a, core_b), **kwargs)
+
+    # -- sender side --------------------------------------------------------
+
+    @property
+    def tx(self) -> Chanend:
+        """The sending side's chanend."""
+        return self.channel.a
+
+    @property
+    def rx(self) -> Chanend:
+        """The receiving side's chanend."""
+        return self.channel.b
+
+    def send(self, value: int):
+        """Deliver one word reliably (generator; drive with ``yield from``)."""
+        seq = self._tx_seq
+        self._tx_seq += 1
+        value &= 0xFFFF_FFFF
+        check = frame_checksum(seq, value)
+        expected_ack = (ACK_MAGIC ^ seq) & 0xFFFF_FFFF
+        backoff = self.ack_timeout_cycles
+        attempts = 0
+        while True:
+            if attempts > 0:
+                self.stats.retries += 1
+                self.stats.retry_bits += FRAME_WIRE_TOKENS * TOKEN_BITS
+            attempts += 1
+            self.stats.frames_sent += 1
+            yield SendWord(self.tx, seq & 0xFFFF_FFFF)
+            yield SendWord(self.tx, value)
+            yield SendWord(self.tx, check)
+            yield SendCt(self.tx, CT_END)
+            ack = yield RecvPacket(self.tx, timeout_cycles=self.ack_timeout_cycles)
+            if (
+                ack is not None
+                and len(ack) == TOKENS_PER_WORD
+                and _word(ack) == expected_ack
+            ):
+                self.stats.acked += 1
+                return
+            if ack is None:
+                self.stats.ack_timeouts += 1
+            else:
+                self.stats.bad_acks += 1
+            if attempts > self.max_retries:
+                raise ReliableChannelError(
+                    f"frame {seq}: no ack after {attempts} attempts"
+                )
+            yield Sleep(backoff)
+            backoff = min(backoff * 2, 16 * self.ack_timeout_cycles)
+
+    # -- receiver side ------------------------------------------------------
+
+    def _parse_frame(self, tokens: list[int]) -> tuple[int, int] | None:
+        """Validate a received packet; ``(seq, value)`` or ``None``."""
+        if len(tokens) != FRAME_WORDS * TOKENS_PER_WORD:
+            # Truncated by token loss, or a partial frame fused with
+            # its own retransmission after a severed route.
+            self.stats.invalid_frames += 1
+            return None
+        seq = _word(tokens[0:4])
+        value = _word(tokens[4:8])
+        if _word(tokens[8:12]) != frame_checksum(seq, value):
+            self.stats.checksum_failures += 1
+            return None
+        return seq, value
+
+    def recv(self):
+        """Receive the next in-order word (generator; ``yield from``)."""
+        while True:
+            tokens = yield RecvPacket(
+                self.rx, timeout_cycles=self.recv_timeout_cycles
+            )
+            if tokens is None:
+                self.stats.recv_timeouts += 1
+                continue
+            frame = self._parse_frame(tokens)
+            if frame is None:
+                continue
+            seq, value = frame
+            # Ack every valid frame — a duplicate means our earlier ack
+            # was lost or arrived after the sender's deadline.
+            yield SendWord(self.rx, (ACK_MAGIC ^ seq) & 0xFFFF_FFFF)
+            yield SendCt(self.rx, CT_END)
+            if seq != self._rx_seq:
+                self.stats.duplicates += 1
+                continue
+            self._rx_seq += 1
+            self.stats.delivered += 1
+            return value
+
+    def drain(self, quiet_cycles: int | None = None):
+        """Service late retransmissions until the sender goes quiet.
+
+        Call after the last expected :meth:`recv` (``yield from
+        ch.drain()``).  If the final ack was lost, the sender is still
+        retransmitting that frame; exiting without re-acking would
+        strand it (and wedge the route once the receive buffer fills).
+        The default quiet window is four times the sender's maximum
+        backoff, so it comfortably outlasts any pending retry.
+        """
+        window = quiet_cycles or 64 * self.ack_timeout_cycles
+        while True:
+            tokens = yield RecvPacket(self.rx, timeout_cycles=window)
+            if tokens is None:
+                return
+            frame = self._parse_frame(tokens)
+            if frame is None:
+                continue
+            seq, _value = frame
+            yield SendWord(self.rx, (ACK_MAGIC ^ seq) & 0xFFFF_FFFF)
+            yield SendCt(self.rx, CT_END)
+            self.stats.duplicates += 1
+
+    # -- accounting ---------------------------------------------------------
+
+    def retry_energy_j(self, accounting) -> float:
+        """Link energy attributable to this channel's retransmissions.
+
+        Retransmitted frames are ordinary traffic, already inside the
+        ledger's link total; this prorates that total by the channel's
+        share of retransmitted wire bits.
+        """
+        accounting.update()
+        fabric = accounting.fabric
+        if fabric is None or self.stats.retry_bits == 0:
+            return 0.0
+        total_bits = sum(link.bits_carried for link in fabric.links)
+        if total_bits == 0:
+            return 0.0
+        return accounting.link_energy_j * self.stats.retry_bits / total_bits

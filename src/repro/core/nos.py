@@ -10,7 +10,7 @@ realistic program-upload time before they start.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Generator
 
 from repro.core.platform import SwallowSystem
@@ -28,12 +28,8 @@ class MapJob:
 
     expected: int
     completed: int = 0
-    handles: list["TaskHandle"] = None
-    results: dict = None
-
-    def __post_init__(self) -> None:
-        self.handles = []
-        self.results = {}
+    handles: list["TaskHandle"] = field(default_factory=list)
+    results: dict = field(default_factory=dict)
 
     @property
     def done(self) -> bool:
@@ -57,6 +53,14 @@ class TaskHandle:
     core: XCore
     thread: HardwareThread | None = None
     start_time_ps: int | None = None
+    #: How often the task has been restarted on a new core after its
+    #: previous core died mid-run (see :meth:`NanoOS.handle_core_failure`).
+    restarts: int = 0
+    #: Rebuilds the task's thread on a given core — kept so the runtime
+    #: can restart the task from scratch after a core failure.
+    spawn_fn: Callable[[XCore], HardwareThread] | None = None
+    #: Code size charged per (re-)upload over the Ethernet bridge.
+    code_bits: int = 0
 
     @property
     def started(self) -> bool:
@@ -72,12 +76,23 @@ class TaskHandle:
 class NanoOS:
     """Central task placement over a Swallow machine."""
 
-    def __init__(self, system: SwallowSystem, bridge: EthernetBridge | None = None):
+    def __init__(
+        self,
+        system: SwallowSystem,
+        bridge: EthernetBridge | None = None,
+        fault_budget: int | None = None,
+    ):
         self.system = system
         self.bridge = bridge
         self._next_task_id = 0
         self.tasks: list[TaskHandle] = []
         self._upload_busy_until_ps = 0
+        #: Maximum number of core deaths the runtime agrees to heal
+        #: (FEST-style k-fault budget); ``None`` means unbounded.
+        self.fault_budget = fault_budget
+        self.failed_cores: list[XCore] = []
+        #: Tasks restarted on a survivor core after their core died.
+        self.replacements = 0
 
     # -- placement ---------------------------------------------------------------
 
@@ -89,12 +104,17 @@ class NanoOS:
     def pick_core(self, pin: XCore | None = None) -> XCore:
         """Least-loaded placement (stable tie-break on node id)."""
         if pin is not None:
+            if pin.failed:
+                raise ResourceError(f"{pin.name}: core has failed")
             if self._load(pin) >= pin.config.max_threads:
                 raise ResourceError(f"{pin.name}: no free hardware thread")
             return pin
         candidates = sorted(
-            self.system.cores, key=lambda c: (self._load(c), c.node_id)
+            (c for c in self.system.cores if not c.failed),
+            key=lambda c: (self._load(c), c.node_id),
         )
+        if not candidates:
+            raise ResourceError("every core in the machine has failed")
         best = candidates[0]
         if self._load(best) >= best.config.max_threads:
             raise ResourceError("no free hardware thread anywhere in the machine")
@@ -117,14 +137,14 @@ class NanoOS:
         handle = TaskHandle(task_id=self._next_task_id, core=core)
         self._next_task_id += 1
         self.tasks.append(handle)
+        task_name = name or f"nos.t{handle.task_id}"
 
-        def start() -> None:
-            handle.thread = BehavioralThread(
-                core, task_factory(core), name=name or f"nos.t{handle.task_id}"
-            )
-            handle.start_time_ps = self.system.sim.now
+        def spawn(on_core: XCore) -> HardwareThread:
+            return BehavioralThread(on_core, task_factory(on_core), name=task_name)
 
-        self.system.sim.schedule_at(self._upload_slot(code_bits=8 * 1024), start)
+        handle.spawn_fn = spawn
+        handle.code_bits = 8 * 1024
+        self._schedule_start(handle)
         return handle
 
     def submit_program(
@@ -139,16 +159,33 @@ class NanoOS:
         handle = TaskHandle(task_id=self._next_task_id, core=core)
         self._next_task_id += 1
         self.tasks.append(handle)
-        code_bits = 32 * len(program.instructions) + 8 * sum(
+
+        def spawn(on_core: XCore) -> HardwareThread:
+            return on_core.spawn(program, entry=entry, regs=regs)
+
+        handle.spawn_fn = spawn
+        handle.code_bits = 32 * len(program.instructions) + 8 * sum(
             len(block) for _, block in program.data_blocks
         )
+        self._schedule_start(handle)
+        return handle
+
+    def _schedule_start(self, handle: TaskHandle) -> None:
+        """Queue the task's (re-)upload and start it when the upload lands.
+
+        The start event is tied to the task's restart generation: if the
+        placed core dies before the upload completes, the task is re-placed
+        with a fresh generation and the stale event becomes a no-op.
+        """
+        generation = handle.restarts
 
         def start() -> None:
-            handle.thread = core.spawn(program, entry=entry, regs=regs)
+            if handle.restarts != generation or handle.core.failed:
+                return
+            handle.thread = handle.spawn_fn(handle.core)
             handle.start_time_ps = self.system.sim.now
 
-        self.system.sim.schedule_at(self._upload_slot(code_bits), start)
-        return handle
+        self.system.sim.schedule_at(self._upload_slot(handle.code_bits), start)
 
     def _upload_slot(self, code_bits: int) -> int:
         """Reserve the bridge for one upload; uploads serialise at 80 Mbit/s."""
@@ -159,6 +196,43 @@ class NanoOS:
         start = max(now, self._upload_busy_until_ps)
         self._upload_busy_until_ps = start + duration_ps
         return self._upload_busy_until_ps
+
+    # -- healing ---------------------------------------------------------------
+
+    def handle_core_failure(self, core: XCore) -> list[TaskHandle]:
+        """Kill ``core`` and restart its unfinished tasks on survivors.
+
+        Orphans are collected *before* the core halts its threads —
+        afterwards they would be indistinguishable from tasks that
+        finished normally.  Each orphan restarts from scratch (its
+        factory is re-run) on a least-loaded surviving core, paying the
+        upload time again.  Honours the :attr:`fault_budget`: the
+        (k+1)-th core death raises :class:`ResourceError` instead of
+        healing.  Returns the re-placed handles.
+        """
+        if core in self.failed_cores:
+            return []
+        if (
+            self.fault_budget is not None
+            and len(self.failed_cores) >= self.fault_budget
+        ):
+            raise ResourceError(
+                f"fault budget exhausted: {len(self.failed_cores)} core"
+                f" failure(s) already healed, budget is {self.fault_budget}"
+            )
+        orphans = [
+            t for t in self.tasks if t.core is core and not t.done
+        ]
+        core.fail()
+        self.failed_cores.append(core)
+        for handle in orphans:
+            handle.core = self.pick_core()
+            handle.thread = None
+            handle.start_time_ps = None
+            handle.restarts += 1
+            self.replacements += 1
+            self._schedule_start(handle)
+        return orphans
 
     # -- collectives -----------------------------------------------------------------
 

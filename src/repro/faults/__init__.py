@@ -1,0 +1,43 @@
+"""Runtime fault injection, campaign scheduling, and self-healing.
+
+The paper's machine lived with real faults — edge-connector link yield
+(§IV-B), dead cores, marginal signal integrity — and its software had to
+keep running anyway.  This package makes the simulator fault-aware end
+to end:
+
+* :class:`FaultCampaign` — a deterministic, seeded schedule of fault
+  injections (permanent link/switch/core death, flaky links, transient
+  bit flips) applied to a live :class:`~repro.core.platform.SwallowSystem`
+  mid-run, with a byte-stable campaign report;
+* :class:`HealthMonitor` — runtime healing: switches the fabric to
+  software routing tables on the first mid-run link death (and keeps
+  them current), and re-places tasks off dead cores through
+  :meth:`~repro.core.nos.NanoOS.handle_core_failure`;
+* reliable delivery lives in :mod:`repro.apps.reliable`
+  (:class:`~repro.apps.reliable.ReliableChannel`), which campaigns
+  integrate for retry/energy reporting.
+"""
+
+from repro.faults.campaign import (
+    BitFlip,
+    CampaignReport,
+    CoreKill,
+    FaultCampaign,
+    FaultSpec,
+    FlakyLink,
+    LinkKill,
+    NodeKill,
+)
+from repro.faults.healing import HealthMonitor
+
+__all__ = [
+    "BitFlip",
+    "CampaignReport",
+    "CoreKill",
+    "FaultCampaign",
+    "FaultSpec",
+    "FlakyLink",
+    "HealthMonitor",
+    "LinkKill",
+    "NodeKill",
+]

@@ -1,0 +1,61 @@
+"""Runtime healing: route recovery and task re-placement.
+
+The fabric already knows how to survive a link death — software routing
+tables are recomputed over the healthy graph (§V.A: "New routing
+algorithms can simply be programmed in software") — but only once table
+routing is active.  :class:`HealthMonitor` closes the loop at runtime:
+it watches the fabric's fault listeners, switches from coordinate
+routing to tables on the first mid-run link death, and forwards core
+deaths to the :class:`~repro.core.nos.NanoOS` placement layer so tasks
+restart on surviving cores.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.network.fabric import LinkRecord, SwallowFabric
+
+if TYPE_CHECKING:
+    from repro.core.nos import NanoOS, TaskHandle
+    from repro.xs1.core import XCore
+
+
+class HealthMonitor:
+    """Watches fabric health and repairs routing and placement."""
+
+    def __init__(self, fabric: SwallowFabric, nos: "NanoOS | None" = None):
+        self.fabric = fabric
+        self.nos = nos
+        #: Link-pair records that died while this monitor was attached.
+        self.link_failures: list[LinkRecord] = []
+        #: Number of times routing tables were (re)computed by healing.
+        self.reroutes = 0
+        fabric.fault_listeners.append(self._on_link_failed)
+
+    # -- link healing -------------------------------------------------------
+
+    def _on_link_failed(self, record: LinkRecord) -> None:
+        self.link_failures.append(record)
+        if self.fabric.routing_tables is None:
+            # First failure under coordinate routing: switch to software
+            # tables, which route around the dead link.  Later failures
+            # are recomputed by the fabric itself (fail_link does so
+            # whenever tables are active).
+            self.fabric.use_table_routing()
+        self.reroutes += 1
+
+    # -- core healing -------------------------------------------------------
+
+    def on_core_failed(self, core: "XCore") -> "list[TaskHandle]":
+        """Re-place a dead core's tasks (requires a NanoOS)."""
+        if self.nos is None:
+            core.fail()
+            return []
+        return self.nos.handle_core_failure(core)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HealthMonitor link_failures={len(self.link_failures)} "
+            f"reroutes={self.reroutes}>"
+        )

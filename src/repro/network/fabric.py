@@ -73,6 +73,9 @@ class SwallowFabric:
         #: Software routing tables (node -> dest -> direction); when set
         #: they take precedence over the coordinate policy.
         self.routing_tables: dict[int, dict[int, Direction]] | None = None
+        #: Called with the :class:`LinkRecord` after each fail_link /
+        #: fail_node_links (health monitoring, see repro.faults.healing).
+        self.fault_listeners: list[Callable[[LinkRecord], None]] = []
         #: Network-wide trace sink; switches and links consult this.
         self.tracer: "TraceRecorder | None" = None
 
@@ -153,12 +156,8 @@ class SwallowFabric:
     # -- link failures & software routing tables (paper §V.A: "New
     # -- routing algorithms can simply be programmed in software") --------
 
-    def fail_link(self, node_a: int, node_b: int, index: int = 0) -> LinkRecord:
-        """Fail the ``index``-th link pair between two nodes (both ways).
-
-        Models the edge-connector failures of §IV-B.  Only idle links may
-        fail; call :meth:`use_table_routing` afterwards to route around.
-        """
+    def find_link(self, node_a: int, node_b: int, index: int = 0) -> LinkRecord:
+        """The ``index``-th link-pair record between two nodes."""
         matches = [
             record for record in self.link_records
             if {record.node_a, record.node_b} == {node_a, node_b}
@@ -169,12 +168,58 @@ class SwallowFabric:
             raise RoutingError(
                 f"only {len(matches)} links between {node_a} and {node_b}"
             )
-        record = matches[index]
-        record.forward.fail()
-        record.backward.fail()
+        return matches[index]
+
+    def fail_link(
+        self, node_a: int, node_b: int, index: int = 0, force: bool = False
+    ) -> LinkRecord:
+        """Fail the ``index``-th link pair between two nodes (both ways).
+
+        Models the edge-connector failures of §IV-B.  By default only
+        idle links may fail; pass ``force=True`` for a *mid-run* failure
+        (in-flight tokens dropped, severed routes flushed — see
+        :meth:`repro.network.link.HalfLink.fail`).  Failing a pair that
+        already failed raises :class:`RoutingError`.  When software
+        routing tables are active they are recomputed immediately, and
+        every registered fault listener is notified.
+        """
+        record = self.find_link(node_a, node_b, index)
+        if not record.healthy:
+            raise RoutingError(
+                f"link {index} between nodes {node_a} and {node_b} "
+                "already failed"
+            )
+        record.forward.fail(force=force)
+        record.backward.fail(force=force)
         if self.routing_tables is not None:
             self.use_table_routing()
+        for listener in self.fault_listeners:
+            listener(record)
         return record
+
+    def fail_node_links(self, node_id: int, force: bool = False) -> list[LinkRecord]:
+        """Fail every healthy link pair touching ``node_id`` (switch death).
+
+        Returns the records failed.  Routing tables are recomputed once,
+        after the last pair dies.
+        """
+        failed: list[LinkRecord] = []
+        for record in self.link_records:
+            if node_id not in (record.node_a, record.node_b):
+                continue
+            if not record.healthy:
+                continue
+            record.forward.fail(force=force)
+            record.backward.fail(force=force)
+            failed.append(record)
+        if not failed:
+            raise RoutingError(f"node {node_id} has no healthy links to fail")
+        if self.routing_tables is not None:
+            self.use_table_routing()
+        for record in failed:
+            for listener in self.fault_listeners:
+                listener(record)
+        return failed
 
     def use_table_routing(self) -> None:
         """Compute shortest-path routing tables over *healthy* links.

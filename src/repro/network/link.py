@@ -18,13 +18,23 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.network.params import SWITCH_BUFFER_TOKENS, LinkSpec
-from repro.network.token import TOKEN_BITS, Token
+from repro.network.token import HEADER_TOKENS, TOKEN_BITS, Token
+
 from repro.sim import Simulator
 
 if TYPE_CHECKING:
     from repro.network.switch import InputPort
     from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import EventHandle
     from repro.sim.tracing import TraceRecorder
+
+#: A flaky-link hook: given the token about to be serialized, return the
+#: token to deliver, a replacement (corruption), or ``None`` to drop it.
+FaultHook = Callable[[Token], "Token | None"]
+
+
+class LinkFailedError(RuntimeError):
+    """Raised when an operation is attempted on an already-failed link."""
 
 
 class HalfLink:
@@ -49,6 +59,15 @@ class HalfLink:
         self.tokens_carried = 0
         self.bits_carried = 0
         self.busy_time_ps = 0
+        #: Fault-injection counters (see :mod:`repro.faults`).
+        self.tokens_dropped = 0
+        self.tokens_corrupted = 0
+        #: Flaky-link hook installed by a fault campaign; header and
+        #: control tokens are never passed to it (the low-level symbol
+        #: encoding protects them), only payload data tokens.
+        self.fault_hook: FaultHook | None = None
+        self._inflight: "EventHandle | None" = None
+        self._sent_since_seize = 0
         #: Optional trace sink (set via SwallowFabric.set_tracer).
         self.tracer: "TraceRecorder | None" = None
 
@@ -59,21 +78,59 @@ class HalfLink:
         """True when no route currently holds this link (and it works)."""
         return self.holder is None and not self.failed
 
-    def fail(self) -> None:
+    def fail(self, force: bool = False) -> None:
         """Mark the link failed (edge-connector yield, §IV-B).
 
-        Only idle links may fail in this model — fail before injecting
-        traffic that would use it; re-route with table routing
-        (:meth:`repro.network.fabric.SwallowFabric.use_table_routing`).
+        Without ``force`` only idle links may fail — fail before
+        injecting traffic that would use it, then re-route with table
+        routing (:meth:`repro.network.fabric.SwallowFabric.use_table_routing`).
+
+        With ``force=True`` the link may die *mid-run*: any in-flight
+        token is dropped, the downstream remainder of the severed route
+        is flushed hop by hop (buffered and in-flight tokens discarded,
+        held links released to their waiters), and the upstream holder
+        discards the rest of the current packet up to its closing END
+        token.  Failing an already-failed link raises
+        :class:`LinkFailedError` either way.
         """
-        if self.holder is not None or self.busy:
-            raise RuntimeError(f"{self.name}: cannot fail a link in use")
+        if self.failed:
+            raise LinkFailedError(f"{self.name}: link already failed")
+        if not force and (self.holder is not None or self.busy):
+            raise RuntimeError(
+                f"{self.name}: cannot fail a link in use (pass force=True "
+                "to model a mid-run failure)"
+            )
         self.failed = True
+        if not force:
+            return
+        self.abort_inflight()
+        if self.sink is not None:
+            self.sink.flush_stale()
+        if self.holder is not None:
+            self.holder.sever_route()
+
+    def abort_inflight(self) -> None:
+        """Drop the token currently being serialized, if any.
+
+        Cancels the pending delivery event, refunds the credit the send
+        consumed (the far buffer never held the token) and counts the
+        loss.  Used by forced failures and downstream route flushing.
+        """
+        if self.busy and self._inflight is not None:
+            self._inflight.cancel()
+            self._inflight = None
+            self.busy = False
+            self.credits += 1
+            self.tokens_dropped += 1
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, self.name, "token_dropped",
+                                   "in-flight")
 
     def seize(self, port: "InputPort") -> None:
         """Allocate the link to a route (caller checked :attr:`free`)."""
         assert self.holder is None, f"{self.name} already held"
         self.holder = port
+        self._sent_since_seize = 0
 
     def release(self, port: "InputPort") -> None:
         """Release the link at route close."""
@@ -87,21 +144,67 @@ class HalfLink:
         return not self.busy and self.credits > 0
 
     def send(self, token: Token, on_done: Callable[[], None] | None = None) -> None:
-        """Launch one token; it arrives after the serialization time."""
+        """Launch one token; it arrives after the serialization time.
+
+        A flaky-link :attr:`fault_hook` may drop or corrupt *payload*
+        data tokens.  Header tokens (the first :data:`HEADER_TOKENS` of
+        each seized route) and control tokens are exempt — corrupting
+        them would misroute or wedge the wormhole network, whereas the
+        real link protocol's control symbols are separately encoded.
+        Dropped tokens still cost serialization time and link energy;
+        their credit is refunded at delivery time (the far buffer never
+        held them).
+        """
         assert self.can_send(), f"{self.name}: send while busy or out of credit"
         assert self.sink is not None, f"{self.name}: unwired link"
+        outcome: Token | None = token
+        if (
+            self.fault_hook is not None
+            and not token.is_control
+            and self._sent_since_seize >= HEADER_TOKENS
+        ):
+            outcome = self.fault_hook(token)
+        self._sent_since_seize += 1
         self.busy = True
         self.credits -= 1
         self.tokens_carried += 1
         self.bits_carried += TOKEN_BITS
         self.busy_time_ps += self.token_time_ps
+        if outcome is None:
+            self.tokens_dropped += 1
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, self.name, "token_dropped",
+                                   str(token))
+            self._inflight = self.sim.schedule(
+                self.token_time_ps, lambda: self._dropped(on_done)
+            )
+            return
+        if outcome is not token:
+            self.tokens_corrupted += 1
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, self.name, "token_corrupted",
+                                   str(token), str(outcome))
+        delivered = outcome
         if self.tracer is not None:
-            self.tracer.record(self.sim.now, self.name, "token", str(token))
-        self.sim.schedule(self.token_time_ps, lambda: self._delivered(token, on_done))
+            self.tracer.record(self.sim.now, self.name, "token", str(delivered))
+        self._inflight = self.sim.schedule(
+            self.token_time_ps, lambda: self._delivered(delivered, on_done)
+        )
 
     def _delivered(self, token: Token, on_done: Callable[[], None] | None) -> None:
         self.busy = False
+        self._inflight = None
         self.sink.accept(token)
+        if on_done is not None:
+            on_done()
+        if self.holder is not None:
+            self.holder.pump()
+
+    def _dropped(self, on_done: Callable[[], None] | None) -> None:
+        """A flaky link finished serializing a token that was lost."""
+        self.busy = False
+        self._inflight = None
+        self.credits += 1          # the far buffer never received it
         if on_done is not None:
             on_done()
         if self.holder is not None:
@@ -192,14 +295,28 @@ class DirectionGroup:
         return None
 
     def release(self, link: HalfLink, port: "InputPort") -> None:
-        """Close a route; hand the link to the oldest eligible waiter."""
+        """Close a route; hand the link to the oldest eligible waiter.
+
+        A link that failed while held is released but never re-granted;
+        its waiters stay queued for the lane's surviving links.
+        """
         link.release(port)
+        if link.failed:
+            return
         for lane in self.LANES:
             if link in self._lane_links(lane) and self.waiters[lane]:
                 next_port = self.waiters[lane].popleft()
                 link.seize(next_port)
                 next_port.granted_link(link)
                 return
+
+    def forget(self, port: "InputPort") -> None:
+        """Drop ``port`` from every lane's wait queue (route severed)."""
+        for lane in self.LANES:
+            try:
+                self.waiters[lane].remove(port)
+            except ValueError:
+                pass
 
     @property
     def all_waiters(self) -> list["InputPort"]:

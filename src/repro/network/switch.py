@@ -74,6 +74,9 @@ class InputPort:
         self._header: list[Token] = []
         self._pump_pending = False
         self.routes_opened = 0
+        #: True while discarding the rest of a severed route's packet
+        #: (set when the route's output link died mid-run).
+        self._discarding = False
 
     # -- token intake --------------------------------------------------------
 
@@ -123,6 +126,9 @@ class InputPort:
 
     def _run(self) -> None:
         self._pump_pending = False
+        if self._discarding:
+            self._drain_discard()
+            return
         if self.route is None and not self._try_open_route():
             return
         route = self.route
@@ -133,6 +139,75 @@ class InputPort:
         elif route.link is not None:
             self._forward(route)
         # else: waiting for link allocation; granted_link() will resume us.
+
+    # -- mid-run failure handling (see repro.faults) --------------------------
+
+    def sever_route(self) -> None:
+        """The route's output link died mid-run (upstream side).
+
+        The rest of the current packet — everything up to and including
+        its closing END token — still arrives from upstream and is
+        discarded; the END then closes the route normally (the dead link
+        is released but never re-granted).  The next packet opens a
+        fresh route against the healed routing tables.
+        """
+        route = self.route
+        if route is None or self._discarding:
+            return
+        route.header_to_send.clear()   # never launched; nothing to flush
+        self._discarding = True
+        self.switch.routes_severed += 1
+        tracer = self.switch.fabric.tracer
+        if tracer is not None:
+            tracer.record(self.switch.sim.now, self.switch.name,
+                          "route_severed", self.name, str(route.dest))
+        self.pump()
+
+    def _drain_discard(self) -> None:
+        while True:
+            token = self._peek()
+            if token is None:
+                return                  # more of the packet arrives later
+            self._consume()
+            self.switch.tokens_discarded += 1
+            if token.is_end:
+                self._discarding = False
+                if self.route is not None:
+                    self._close_route(self.route)
+                return
+
+    def flush_stale(self) -> None:
+        """This port's upstream link died: discard the orphaned route.
+
+        Called on the *downstream* side of a forced link failure and
+        recursively along the rest of the severed route's path: buffered
+        and in-flight tokens are dropped immediately (no END will ever
+        arrive from across the dead link), held output links are
+        released to their waiters, and queued allocations are withdrawn.
+        """
+        self._header.clear()
+        self._discarding = False
+        while self._peek() is not None:
+            self._consume()
+            self.switch.tokens_discarded += 1
+        route, self.route = self.route, None
+        if route is None:
+            return
+        self.switch.routes_severed += 1
+        tracer = self.switch.fabric.tracer
+        if tracer is not None:
+            tracer.record(self.switch.sim.now, self.switch.name,
+                          "route_severed", self.name, str(route.dest))
+        if route.local_target is not None:
+            return
+        link = route.link
+        if link is None:
+            self.switch.groups[route.direction].forget(self)
+            return
+        link.abort_inflight()
+        if link.sink is not None:
+            link.sink.flush_stale()    # walk the rest of the route
+        self.switch.groups[route.direction].release(link, self)
 
     def _try_open_route(self) -> bool:
         header = self._open_route_header()
@@ -302,6 +377,10 @@ class Switch:
         self.routes_closed = 0
         self.tokens_delivered = 0
         self.tokens_forwarded = 0
+        #: Routes cut mid-packet by a forced link failure, and tokens
+        #: thrown away while flushing/draining them (repro.faults).
+        self.routes_severed = 0
+        self.tokens_discarded = 0
         #: Route-hold-time histogram, armed by :meth:`register_metrics`.
         self.route_hold_hist = None
 
@@ -364,6 +443,10 @@ class Switch:
                             lambda: self.routes_opened, **labels)
         registry.counter_fn("switch.routes_closed",
                             lambda: self.routes_closed, **labels)
+        registry.counter_fn("switch.routes_severed",
+                            lambda: self.routes_severed, **labels)
+        registry.counter_fn("switch.tokens_discarded",
+                            lambda: self.tokens_discarded, **labels)
         registry.gauge_fn("switch.routes_open",
                           lambda: self.routes_open, **labels)
         self.route_hold_hist = registry.histogram(

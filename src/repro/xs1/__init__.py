@@ -5,6 +5,7 @@ from repro.xs1.behavioral import (
     BehavioralThread,
     CheckCt,
     Compute,
+    RecvPacket,
     RecvToken,
     RecvWord,
     SendCt,
@@ -72,6 +73,7 @@ __all__ = [
     "RES_TYPE_CHANEND",
     "RES_TYPE_LOCK",
     "RES_TYPE_TIMER",
+    "RecvPacket",
     "RecvToken",
     "RecvWord",
     "RegisterFile",

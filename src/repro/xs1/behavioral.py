@@ -112,8 +112,32 @@ class Sleep:
     cycles: int
 
 
+@dataclass
+class RecvPacket:
+    """Receive a whole packet: every data-token value up to the END.
+
+    The yield's value is the list of 8-bit data-token values consumed
+    before the closing END control token (the END itself is consumed
+    but not returned).  With ``timeout_cycles`` set, waiting longer than
+    that for the *next* token abandons the receive: any partial packet
+    is discarded and the yield's value is ``None`` — the resync
+    primitive reliable channels are built on, since a lossy or severed
+    link may never deliver the END.
+
+    Non-END control tokens inside the packet trap, like :class:`RecvWord`.
+    """
+
+    chanend: "Chanend"
+    timeout_cycles: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles is not None and self.timeout_cycles < 1:
+            raise ValueError("timeout must be at least one cycle")
+
+
 Operation = (
-    Compute | SendWord | RecvWord | SendToken | RecvToken | SendCt | CheckCt | SetDest | Sleep
+    Compute | SendWord | RecvWord | SendToken | RecvToken | SendCt | CheckCt
+    | SetDest | Sleep | RecvPacket
 )
 
 
@@ -131,6 +155,8 @@ class BehavioralThread(HardwareThread):
         self._current: Operation | None = None
         self._compute_left = 0
         self._pending_result: object = None
+        self._packet_accum: list[int] = []
+        self._timeout_handle = None
         core.add_thread(self)
 
     # -- generator pump -----------------------------------------------------
@@ -191,6 +217,8 @@ class BehavioralThread(HardwareThread):
             self.core.sim.schedule(delay, self.resume)
             self.pause("sleep")
             return StepOutcome.PAUSED
+        if isinstance(op, RecvPacket):
+            return self._recv_packet(op)
         raise TrapError(f"{self.name}: unknown behavioural operation {op!r}")
 
     # -- operation implementations -------------------------------------------
@@ -235,6 +263,42 @@ class BehavioralThread(HardwareThread):
         self._pending_result = token.value
         self._complete()
         return self._count(EnergyClass.COMM)
+
+    def _recv_packet(self, op: RecvPacket) -> StepOutcome:
+        chanend = op.chanend
+        if self._timeout_handle is not None:      # woken by data, not timeout
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
+        while chanend.rx_available() > 0:
+            token = chanend.rx[0]
+            if token.is_control and not token.is_end:
+                raise TrapError(
+                    f"{self.name}: unexpected control token {token} in packet"
+                )
+            chanend.pop_rx()
+            if token.is_end:
+                self._pending_result = self._packet_accum
+                self._packet_accum = []
+                self._complete()
+                return self._count(EnergyClass.COMM)
+            self._packet_accum.append(token.value)
+        chanend.wait_rx(self, 1)
+        if op.timeout_cycles is not None:
+            delay = self.core.frequency.cycles_to_ps(op.timeout_cycles)
+            self._timeout_handle = self.core.sim.schedule(
+                delay, lambda: self._recv_packet_timeout(chanend)
+            )
+        return StepOutcome.PAUSED
+
+    def _recv_packet_timeout(self, chanend: "Chanend") -> None:
+        """The armed receive deadline passed with the thread still waiting."""
+        self._timeout_handle = None
+        if not chanend.cancel_rx_wait(self):
+            return                                # data won the race
+        self._packet_accum = []                   # drop any partial packet
+        self._pending_result = None
+        self._complete()
+        self.resume()
 
     def _check_ct(self, chanend: "Chanend", code: int) -> StepOutcome:
         if chanend.rx_available() < 1:

@@ -173,5 +173,18 @@ class Chanend:
         self._rx_need = need
         thread.pause(f"in on {self.address}")
 
+    def cancel_rx_wait(self, thread: "HardwareThread") -> bool:
+        """Withdraw ``thread``'s pending receive wait (timeout support).
+
+        Returns True when the thread was indeed the registered waiter;
+        False when data already arrived and the wait was satisfied (the
+        timeout lost the race and must be ignored).
+        """
+        if self._rx_waiter is thread:
+            self._rx_waiter = None
+            self._rx_need = 0
+            return True
+        return False
+
     def __str__(self) -> str:
         return f"chanend {self.address}"

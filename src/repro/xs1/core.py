@@ -97,6 +97,9 @@ class XCore:
         self._next_tid = 0
         self.on_halt_callbacks: list[Callable[[HardwareThread], None]] = []
         self.frequency_listeners: list[Callable[["XCore"], None]] = []
+        #: True once the core has been killed by a fault injection; a
+        #: failed core accepts no new threads and runs no further slots.
+        self.failed = False
 
     # ------------------------------------------------------------------
     # Clocking
@@ -182,6 +185,23 @@ class XCore:
             self.memory.write_block(address, data)
         self._loaded_programs.add(id(program))
 
+    def fail(self) -> None:
+        """Kill the core mid-run (fault injection, see :mod:`repro.faults`).
+
+        Every live hardware thread halts immediately — whatever it was
+        computing is lost — and the core refuses new work.  Tokens
+        already delivered into its chanends stay buffered (nobody will
+        read them); tasks managed by :class:`~repro.core.nos.NanoOS`
+        should be re-placed *before* calling this (the runtime's
+        ``handle_core_failure`` does both in the right order).
+        Idempotent.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        for thread in self.threads:
+            thread.halt()
+
     def spawn(
         self,
         program: Program,
@@ -190,6 +210,8 @@ class XCore:
         regs: dict[str, int] | None = None,
     ) -> IsaThread:
         """Start a hardware thread running ``program`` from ``entry``."""
+        if self.failed:
+            raise ResourceError(f"{self.name}: core has failed")
         if self.live_threads >= self.config.max_threads:
             raise ResourceError(
                 f"{self.name}: all {self.config.max_threads} hardware threads in use"
@@ -206,6 +228,8 @@ class XCore:
 
     def add_thread(self, thread: HardwareThread) -> None:
         """Attach an externally built thread (behavioural threads use this)."""
+        if self.failed:
+            raise ResourceError(f"{self.name}: core has failed")
         if self.live_threads >= self.config.max_threads:
             raise ResourceError(
                 f"{self.name}: all {self.config.max_threads} hardware threads in use"

@@ -142,3 +142,58 @@ class TestEthernetBoot:
         big = nos.submit_program(assemble("\n".join(["nop"] * 400) + "\nfreet"))
         system.run()
         assert small.start_time_ps < big.start_time_ps
+
+
+class TestMapJobIsolation:
+    def test_jobs_do_not_share_default_containers(self):
+        """Regression: MapJob used None + __post_init__; two jobs must
+        never alias their handles/results containers."""
+        from repro.core.nos import MapJob
+
+        job_a = MapJob(expected=2)
+        job_b = MapJob(expected=2)
+        job_a.results[0] = "a"
+        job_a.handles.append(object())
+        assert job_b.results == {}
+        assert job_b.handles == []
+
+
+class TestReplacement:
+    def test_restarted_task_reruns_factory_elsewhere(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        runs = []
+
+        def factory(core):
+            def body():
+                runs.append(core.node_id)
+                yield Compute(500_000)
+            return body()
+
+        handle = nos.submit(factory)
+        system.sim.schedule_at(
+            1_000_000, lambda: nos.handle_core_failure(handle.core)
+        )
+        system.run()
+        assert handle.done
+        assert handle.restarts == 1
+        assert len(runs) == 2
+        assert runs[0] != runs[1]   # restart landed on a different core
+
+    def test_core_death_during_upload_restarts_cleanly(self):
+        """Kill the placed core halfway through the 102.4 us code upload:
+        the stale start event must no-op (generation guard) and the task
+        pays a fresh upload to its replacement core."""
+        system = SwallowSystem(ethernet_columns=(0,))
+        nos = NanoOS(system, bridge=system.bridges[0])
+        handle = nos.submit(simple_task)
+        victim = handle.core
+        system.sim.schedule_at(
+            50_000_000, lambda: nos.handle_core_failure(victim)
+        )
+        system.run()
+        assert handle.done
+        assert handle.restarts == 1
+        assert handle.core is not victim
+        # Second upload serialises behind the first: start >= 2 x 102.4 us.
+        assert handle.start_time_ps >= 200_000_000

@@ -1,0 +1,132 @@
+"""Tests for runtime healing: route recovery and task re-placement."""
+
+import pytest
+
+from repro import NanoOS, ReliableChannel, SwallowSystem
+from repro.faults import CoreKill, FaultCampaign, HealthMonitor, LinkKill, NodeKill
+from repro.network.routing import Layer
+from repro.xs1.errors import ResourceError
+
+from tests.faults.test_reliable import adjacent_pair, stream
+
+
+class TestRouteHealing:
+    def test_mid_run_link_kill_recomputes_routes(self):
+        """Kill the stream's direct link mid-run: the monitor switches to
+        table routing, the stream detours, and every word arrives."""
+        system = SwallowSystem(metrics=False)
+        core_a, core_b = adjacent_pair(system)
+        channel = ReliableChannel.between(core_a, core_b)
+        received = stream(system, channel, words=20, payload=lambda i: i + 100)
+        campaign = FaultCampaign(
+            system,
+            [LinkKill(at_us=3.0, node_a=core_a.node_id, node_b=core_b.node_id)],
+            seed=0,
+        )
+        campaign.arm()
+        assert system.topology.fabric.routing_tables is None
+        system.run()
+        assert received == [i + 100 for i in range(20)]
+        assert system.topology.fabric.routing_tables is not None
+        assert campaign.monitor.reroutes == 1
+        assert len(campaign.monitor.link_failures) == 1
+
+    def test_monitor_counts_every_failure(self):
+        system = SwallowSystem(metrics=False)
+        fabric = system.topology.fabric
+        monitor = HealthMonitor(fabric)
+        topo = system.topology
+        fabric.fail_link(topo.node_at(0, 0, Layer.VERTICAL),
+                         topo.node_at(0, 1, Layer.VERTICAL))
+        fabric.fail_link(topo.node_at(1, 0, Layer.VERTICAL),
+                         topo.node_at(1, 1, Layer.VERTICAL))
+        assert monitor.reroutes == 2
+        assert fabric.routing_tables is not None
+
+    def test_monitor_without_nos_still_kills_core(self):
+        system = SwallowSystem(metrics=False)
+        monitor = HealthMonitor(system.topology.fabric)
+        core = system.core(4)
+        assert monitor.on_core_failed(core) == []
+        assert core.failed
+
+
+class TestPlacementHealing:
+    def test_core_kill_replaces_tasks(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system)
+        job = nos.map(lambda x: x * x, list(range(16)), cost_per_item=20_000)
+        victim = nos.tasks[3].core
+        campaign = FaultCampaign(
+            system, [CoreKill(at_us=10.0, node_id=victim.node_id)],
+            seed=0, nos=nos,
+        )
+        campaign.arm()
+        system.run()
+        assert job.done
+        assert job.ordered_results() == [x * x for x in range(16)]
+        assert nos.replacements == 1
+        assert nos.failed_cores == [victim]
+        restarted = [t for t in nos.tasks if t.restarts]
+        assert len(restarted) == 1
+        assert restarted[0].core is not victim
+
+    def test_node_kill_takes_core_and_links(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system)
+        job = nos.map(lambda x: -x, list(range(16)), cost_per_item=20_000)
+        victim = nos.tasks[0].core
+        campaign = FaultCampaign(
+            system, [NodeKill(at_us=5.0, node_id=victim.node_id)],
+            seed=0, nos=nos,
+        )
+        campaign.arm()
+        system.run()
+        assert job.done and job.ordered_results() == [-x for x in range(16)]
+        assert victim.failed
+        fabric = system.topology.fabric
+        assert all(
+            not record.healthy
+            for record in fabric.link_records
+            if victim.node_id in (record.node_a, record.node_b)
+        )
+
+    def test_fault_budget_exceeded_raises(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system, fault_budget=1)
+        nos.map(lambda x: x, list(range(16)), cost_per_item=50_000)
+        campaign = FaultCampaign(
+            system,
+            [CoreKill(at_us=5.0, node_id=nos.tasks[0].core.node_id),
+             CoreKill(at_us=10.0, node_id=nos.tasks[1].core.node_id)],
+            seed=0, nos=nos,
+        )
+        campaign.arm()
+        with pytest.raises(ResourceError, match="fault budget"):
+            system.run()
+        assert nos.replacements == 1     # the first failure healed fine
+
+    def test_pick_core_skips_failed_cores(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system)
+        dead = system.core(0)
+        nos.handle_core_failure(dead)
+
+        def task(core):
+            def body():
+                from repro import Compute
+                yield Compute(10)
+            return body()
+
+        handle = nos.submit(task)
+        assert handle.core is not dead
+        with pytest.raises(ResourceError, match="failed"):
+            nos.submit(task, pin=dead)
+
+    def test_handle_core_failure_idempotent(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system)
+        core = system.core(2)
+        nos.handle_core_failure(core)
+        assert nos.handle_core_failure(core) == []
+        assert nos.failed_cores == [core]

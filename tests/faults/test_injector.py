@@ -1,0 +1,226 @@
+"""Tests for runtime fault injection mechanics (links, switches, cores)."""
+
+import pytest
+
+from repro.network.link import LinkFailedError
+from repro.network.routing import Layer, RoutingError
+from repro.network.token import CT_END
+from repro.network.topology import SwallowTopology
+from repro.sim import Simulator, us
+from repro.xs1 import (
+    BehavioralThread,
+    CheckCt,
+    Compute,
+    RecvWord,
+    SendCt,
+    SendWord,
+    XCore,
+)
+from repro.xs1.errors import ResourceError
+
+
+def build():
+    sim = Simulator()
+    topo = SwallowTopology(sim)
+    return sim, topo
+
+
+class TestDoubleFailure:
+    def test_half_link_double_fail_raises(self):
+        sim, topo = build()
+        link = topo.fabric.links[0]
+        link.fail()
+        with pytest.raises(LinkFailedError, match="already failed"):
+            link.fail()
+
+    def test_fabric_double_fail_raises(self):
+        """Regression: failing an already-failed pair used to fail its
+        healthy twin silently; now it is a clear error."""
+        sim, topo = build()
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        topo.fabric.fail_link(a, b)
+        with pytest.raises(RoutingError, match="already failed"):
+            topo.fabric.fail_link(a, b)
+
+    def test_forced_double_fail_raises_too(self):
+        sim, topo = build()
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        topo.fabric.fail_link(a, b, force=True)
+        with pytest.raises(RoutingError, match="already failed"):
+            topo.fabric.fail_link(a, b, force=True)
+
+
+class TestForcedFailure:
+    def test_busy_link_requires_force(self):
+        """A held link still refuses the polite (idle-only) failure."""
+        sim, topo = build()
+        a = topo.node_at(1, 0, Layer.VERTICAL)
+        b = topo.node_at(1, 1, Layer.VERTICAL)
+        core_a = XCore(sim, a, topo.fabric)
+        core_b = XCore(sim, b, topo.fabric)
+        tx = core_a.allocate_chanend()
+        rx = core_b.allocate_chanend()
+        tx.set_dest(rx.address)
+
+        def sender():
+            for i in range(64):
+                yield SendWord(tx, i)
+            yield SendCt(tx, CT_END)
+
+        BehavioralThread(core_a, sender())
+        # Run just far enough for the route to seize the direct link.
+        sim.run_for(us(1))
+        record = topo.fabric.find_link(a, b)
+        assert record.forward.holder is not None
+        with pytest.raises(RuntimeError, match="force=True"):
+            record.forward.fail()
+
+    def test_mid_run_kill_does_not_wedge(self):
+        """Force-failing the link under an open route drops the in-flight
+        traffic, flushes the severed route, and the network stays live:
+        a later transfer over recomputed tables still delivers."""
+        sim, topo = build()
+        a = topo.node_at(1, 0, Layer.VERTICAL)
+        b = topo.node_at(1, 1, Layer.VERTICAL)
+        core_a = XCore(sim, a, topo.fabric)
+        core_b = XCore(sim, b, topo.fabric)
+        tx = core_a.allocate_chanend()
+        rx = core_b.allocate_chanend()
+        tx.set_dest(rx.address)
+        got = []
+
+        def sender():
+            for i in range(64):
+                yield SendWord(tx, i)
+            yield SendCt(tx, CT_END)
+
+        def receiver():
+            # Consume whatever arrives; the kill truncates the stream.
+            while True:
+                got.append((yield RecvWord(rx)))
+
+        BehavioralThread(core_a, sender())
+        BehavioralThread(core_b, receiver())
+        topo.fabric.use_table_routing()
+        sim.schedule_at(us(2), lambda: topo.fabric.fail_link(a, b, force=True))
+        sim.run_for(us(400))
+        fabric = topo.fabric
+        assert not fabric.find_link(a, b).healthy
+        # The severed route was flushed, not left holding links open.
+        severed = sum(s.routes_severed for s in fabric.switches.values())
+        assert severed >= 1
+        dropped = sum(link.tokens_dropped for link in fabric.links)
+        discarded = sum(s.tokens_discarded for s in fabric.switches.values())
+        assert dropped + discarded >= 1
+        # The surviving lattice still routes fresh traffic between the
+        # same pair (the tables detour around the dead link).
+        tx2 = core_a.allocate_chanend()
+        rx2 = core_b.allocate_chanend()
+        tx2.set_dest(rx2.address)
+        got2 = []
+
+        def sender2():
+            yield SendWord(tx2, 0xBEEF)
+            yield SendCt(tx2, CT_END)
+
+        def receiver2():
+            got2.append((yield RecvWord(rx2)))
+            yield CheckCt(rx2, CT_END)
+
+        BehavioralThread(core_a, sender2())
+        BehavioralThread(core_b, receiver2())
+        sim.run()
+        assert got2 == [0xBEEF]
+
+    def test_fail_node_links_isolates_switch(self):
+        sim, topo = build()
+        node = topo.node_at(0, 0, Layer.VERTICAL)
+        records = topo.fabric.fail_node_links(node)
+        assert len(records) >= 2
+        assert all(not record.healthy for record in records)
+        with pytest.raises(RoutingError, match="no healthy links"):
+            topo.fabric.fail_node_links(node)
+
+
+class TestFlakyHooks:
+    def test_hook_spares_headers_and_control_tokens(self):
+        """With a 100% corruption hook the route still opens, routes
+        correctly, and closes: only payload values are damaged."""
+        sim, topo = build()
+        a = topo.node_at(1, 0, Layer.VERTICAL)
+        b = topo.node_at(1, 1, Layer.VERTICAL)
+        record = topo.fabric.find_link(a, b)
+        from repro.network.token import Token
+
+        record.forward.fault_hook = lambda token: Token(token.value ^ 0xFF)
+        core_a = XCore(sim, a, topo.fabric)
+        core_b = XCore(sim, b, topo.fabric)
+        tx = core_a.allocate_chanend()
+        rx = core_b.allocate_chanend()
+        tx.set_dest(rx.address)
+        got = []
+
+        def sender():
+            yield SendWord(tx, 0x00000000)
+            yield SendCt(tx, CT_END)
+
+        def receiver():
+            got.append((yield RecvWord(rx)))
+            yield CheckCt(rx, CT_END)   # END crossed the link unharmed
+
+        BehavioralThread(core_a, sender())
+        BehavioralThread(core_b, receiver())
+        sim.run()
+        assert got == [0xFFFFFFFF]      # every payload token flipped
+        assert record.forward.tokens_corrupted == 4
+
+    def test_dropped_tokens_refund_credit(self):
+        """A 100% drop hook loses all payload but never leaks credits:
+        the stream keeps flowing (and the END still closes the route)."""
+        sim, topo = build()
+        a = topo.node_at(1, 0, Layer.VERTICAL)
+        b = topo.node_at(1, 1, Layer.VERTICAL)
+        record = topo.fabric.find_link(a, b)
+        record.forward.fault_hook = lambda token: None
+        core_a = XCore(sim, a, topo.fabric)
+        core_b = XCore(sim, b, topo.fabric)
+        tx = core_a.allocate_chanend()
+        rx = core_b.allocate_chanend()
+        tx.set_dest(rx.address)
+
+        def sender():
+            for i in range(16):         # far more than one buffer's worth
+                yield SendWord(tx, i)
+            yield SendCt(tx, CT_END)
+
+        sender_thread = BehavioralThread(core_a, sender())
+        sim.run()
+        assert sender_thread.halted     # never starved of credits
+        assert record.forward.tokens_dropped == 64
+        from repro.network.params import SWITCH_BUFFER_TOKENS
+        assert record.forward.credits == SWITCH_BUFFER_TOKENS
+
+
+class TestCoreFailure:
+    def test_fail_halts_threads_and_rejects_new_work(self):
+        sim, topo = build()
+        node = topo.node_at(0, 0, Layer.VERTICAL)
+        core = XCore(sim, node, topo.fabric)
+
+        def long_body():
+            yield Compute(1_000_000)
+
+        thread = BehavioralThread(core, long_body())
+        sim.run_for(us(1))
+        assert not thread.halted
+        core.fail()
+        assert core.failed and thread.halted
+
+        def short_body():
+            yield Compute(1)
+
+        with pytest.raises(ResourceError, match="failed"):
+            BehavioralThread(core, short_body())
+        core.fail()                     # idempotent

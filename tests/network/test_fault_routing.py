@@ -131,3 +131,47 @@ class TestTableRouting:
         run = TrafficRun(topo, bit_complement_pairs(topo), packets=2).start()
         sim.run()
         assert run.stats.complete
+
+
+class TestAutoRecompute:
+    """The fabric heals its own tables when faults land in table mode."""
+
+    def test_node_kill_recomputes_tables(self):
+        sim, topo = build()
+        topo.fabric.use_table_routing()
+        victim = topo.node_at(1, 0, Layer.VERTICAL)
+        topo.fabric.fail_node_links(victim)
+        # Survivors detour around the dead switch without manual help.
+        src = topo.node_at(0, 0, Layer.VERTICAL)
+        dst = topo.node_at(2, 1, Layer.VERTICAL)
+        assert transfer(sim, topo, src, dst) == [0xABCD]
+
+    def test_forced_failure_also_recomputes(self):
+        sim, topo = build()
+        topo.fabric.use_table_routing()
+        a = topo.node_at(1, 0, Layer.VERTICAL)
+        b = topo.node_at(1, 1, Layer.VERTICAL)
+        before = dict(topo.fabric.routing_tables[a])
+        topo.fabric.fail_link(a, b, force=True)
+        assert topo.fabric.routing_tables[a][b] != before[b]
+
+    def test_coordinate_mode_does_not_create_tables(self):
+        """Without table routing, failures never conjure tables — the
+        monitor in repro.faults owns that switch-over decision."""
+        sim, topo = build()
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        topo.fabric.fail_link(a, b)
+        assert topo.fabric.routing_tables is None
+
+    def test_listeners_notified_for_every_record(self):
+        sim, topo = build()
+        seen = []
+        topo.fabric.fault_listeners.append(seen.append)
+        a = topo.node_at(0, 0, Layer.VERTICAL)
+        b = topo.node_at(0, 1, Layer.VERTICAL)
+        record = topo.fabric.fail_link(a, b)
+        assert seen == [record]
+        victim = topo.node_at(3, 0, Layer.VERTICAL)
+        records = topo.fabric.fail_node_links(victim)
+        assert seen[1:] == records

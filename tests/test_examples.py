@@ -49,3 +49,9 @@ class TestExamples:
         out = run_example("event_driven_server", capsys)
         assert "server handled 8 requests" in out
         assert "sum 10 (expect 10)" in out
+
+    def test_fault_tolerant_pipeline(self, capsys):
+        out = run_example("fault_tolerant_pipeline", capsys)
+        assert "fault campaign (seed 42)" in out
+        assert "24/24 words delivered, intact" in out
+        assert "map job:  done, results correct" in out
