@@ -1,62 +1,160 @@
-"""Energy-aware placement of a pipeline (paper §V.D).
+"""Energy-aware pipeline: causal spans, per-span energy, live watchpoint.
 
-The same 4-stage pipeline is placed four ways — on one core's hardware
-threads, across a package, across a slice, and across two slices — and
-we report throughput, communication scope, and where the energy went.
-The paper's guidance ("prefer core-local communication where possible")
-falls out of the numbers.
+A four-stage pipeline runs on cores 0-3 — all fed by measurement rail 0
+— at 500 MHz.  Three observability layers watch it at once:
+
+* **causal spans** follow every message producer → consumer, exported as
+  a Perfetto/Chrome trace whose flow arrows draw the cross-core paths;
+* **energy attribution** partitions the whole ledger onto the spans and
+  emits a flame-graph folded-stacks file that sums to the ledger total;
+* a **power watchpoint** samples rail 0 through the simulated ADC and,
+  when the windowed mean crosses 500 mW, steps the pipeline's cores down
+  to 250 MHz — the paper's measure-and-adapt loop, §II.
+
+The scenario runs twice and the artefacts are hashed, demonstrating the
+byte-identical determinism the observability stack guarantees.
 
 Run:  python examples/energy_aware_pipeline.py
 """
 
-from repro import Placement, build_machine, build_pipeline, place
-from repro.apps import communication_scope
-from repro.sim import Simulator, to_us
+import hashlib
+from pathlib import Path
 
-ITEMS = 30
-COMPUTE_PER_STAGE = 100
+from repro import (
+    Compute,
+    Frequency,
+    PowerWatchpoint,
+    RecvWord,
+    SendWord,
+    SwallowSystem,
+)
+from repro.obs import chrome_trace_json
+
+ITEMS = 24
+COMPUTE_PER_STAGE = 150
+STAGE_CORES = (0, 1, 2, 3)       # the four cores of measurement rail 0
+BUDGET_MW = 500.0                # rail 0: ~452 mW idle, ~535 mW busy
+WATCH_FOR_US = 40.0
+OUT_DIR = Path(__file__).parent / "out"
 
 
-def run_one(strategy: Placement) -> dict:
-    sim = Simulator()
-    slices_x = 2 if strategy is Placement.CROSS_SLICE else 1
-    machine = build_machine(sim, slices_x=slices_x)
-    cores = place(machine, 4, strategy)
-    result = build_pipeline(cores, items=ITEMS, compute_per_stage=COMPUTE_PER_STAGE)
-    sim.run()
-    assert result.complete
-    machine.accounting.update()
-    energy = machine.accounting.breakdown_j()
+def run_once() -> dict:
+    """One full scenario; returns the printable log and the artefacts."""
+    system = SwallowSystem(slices_x=1)
+    tracer = system.trace(kinds={"route_open", "route_close"})
+    recorder = system.spans()
+    root = recorder.span("pipeline")
+    root.begin(0)
+    cores = [system.core(i) for i in STAGE_CORES]
+    channels = [system.channel(a, b) for a, b in zip(cores, cores[1:])]
+    results: list[int] = []
+
+    def source():
+        for i in range(ITEMS):
+            yield Compute(COMPUTE_PER_STAGE)
+            yield SendWord(channels[0].a, i)
+
+    def worker(index):
+        def body():
+            for _ in range(ITEMS):
+                value = yield RecvWord(channels[index - 1].b)
+                yield Compute(COMPUTE_PER_STAGE)
+                yield SendWord(channels[index].a, value + index)
+        return body()
+
+    def sink():
+        for _ in range(ITEMS):
+            value = yield RecvWord(channels[-1].b)
+            yield Compute(COMPUTE_PER_STAGE)
+            results.append(value)
+
+    system.spawn_task(cores[0], source(), name="stage0",
+                      span=root.child("stage0"))
+    system.spawn_task(cores[1], worker(1), name="stage1",
+                      span=root.child("stage1"))
+    system.spawn_task(cores[2], worker(2), name="stage2",
+                      span=root.child("stage2"))
+    system.spawn_task(cores[3], sink(), name="stage3",
+                      span=root.child("stage3"))
+
+    log: list[str] = []
+
+    def step_down(watch, event):
+        if cores[0].frequency.megahertz <= 250:
+            return
+        system.set_frequency(Frequency.mhz(250), cores=cores)
+        log.append(f"watchpoint fired: {event.describe()}")
+        log.append("  -> stepping cores 0-3 down to 250 MHz")
+
+    watch = PowerWatchpoint(
+        system.measurement_board(), channel=0, rate_hz=1_000_000.0,
+        window_samples=4, above_mw=BUDGET_MW, on_fire=step_down,
+        name="rail0",
+    ).arm(duration_s=WATCH_FOR_US * 1e-6)
+
+    system.run()
+    root.finish(system.sim.now)
+    assert results == [i + 3 for i in range(ITEMS)], results
+    attribution = system.energy_attribution()
+
+    folded = attribution.folded()
+    span_jsonl = recorder.to_jsonl()
+    trace_json = chrome_trace_json(tracer.records, spans=recorder)
+    flows = sum(1 for ph in ('"ph":"s"', '"ph":"f"') if ph in trace_json)
+    flow_count = trace_json.count('"ph":"s"')
+
+    gap_j = abs(attribution.total_j - attribution.attributed_j())
+    log.append(
+        f"pipeline delivered {len(results)} items in "
+        f"{system.sim.now / 1e6:.1f} us (watch sampled "
+        f"{watch.samples_taken}x, {len(watch.firings)} firing(s))"
+    )
+    log.append(
+        f"flame graph: {len(attribution.rows)} rows summing to "
+        f"{attribution.attributed_j() * 1e6:.3f} uJ; ledger "
+        f"{attribution.total_j * 1e6:.3f} uJ (gap {gap_j:.2e} J)"
+    )
+    assert flows == 2 and flow_count == len(recorder.messages)
+    assert gap_j <= 1e-9, gap_j
     return {
-        "strategy": strategy.value,
-        "scope": communication_scope(cores, machine),
-        "makespan_us": to_us(result.makespan_ps),
-        "core_energy_uj": energy["cores"] * 1e6,
-        "link_energy_uj": energy["links"] * 1e6,
-        "bits_moved": result.bits_moved,
+        "log": log,
+        "table": attribution.render(top=8),
+        "folded": folded,
+        "span_jsonl": span_jsonl,
+        "trace_json": trace_json,
+        "flow_count": flow_count,
     }
 
 
+def digest(run: dict) -> str:
+    material = "\0".join(
+        [run["folded"], run["span_jsonl"], run["trace_json"], *run["log"]]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
 def main() -> None:
-    print(f"4-stage pipeline, {ITEMS} items, {COMPUTE_PER_STAGE} instructions/stage\n")
-    header = (
-        f"{'placement':<14} {'widest comm':<12} {'makespan us':>12} "
-        f"{'core uJ':>10} {'link uJ':>10} {'bits moved':>11}"
-    )
-    print(header)
-    print("-" * len(header))
-    for strategy in Placement:
-        row = run_one(strategy)
-        print(
-            f"{row['strategy']:<14} {row['scope']:<12} "
-            f"{row['makespan_us']:>12.2f} {row['core_energy_uj']:>10.2f} "
-            f"{row['link_energy_uj']:>10.4f} {row['bits_moved']:>11}"
-        )
-    print(
-        "\nNote how link energy explodes once the pipeline crosses a board "
-        "boundary (10.9 nJ/bit FFC cables, Table I), while core-local "
-        "placement keeps the network idle — the paper's locality ladder."
-    )
+    print(f"4-stage pipeline on cores {list(STAGE_CORES)} (rail 0), "
+          f"{ITEMS} items, watchpoint budget {BUDGET_MW:.0f} mW\n")
+    first = run_once()
+    for line in first["log"]:
+        print(line)
+    print()
+    print(first["table"])
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "energy_aware_pipeline.trace.json").write_text(
+        first["trace_json"], encoding="utf-8")
+    (OUT_DIR / "energy_aware_pipeline.folded").write_text(
+        first["folded"], encoding="utf-8")
+    print(f"\nwrote Perfetto trace ({first['flow_count']} cross-core flow "
+          f"arrows) and folded stacks to {OUT_DIR}/")
+
+    second = run_once()
+    identical = digest(first) == digest(second)
+    print(f"re-ran the scenario: byte-identical: {identical} "
+          f"(sha256 {digest(first)[:16]})")
+    assert identical
 
 
 if __name__ == "__main__":

@@ -1,0 +1,63 @@
+"""Energy-aware placement of a pipeline (paper §V.D).
+
+The same 4-stage pipeline is placed four ways — on one core's hardware
+threads, across a package, across a slice, and across two slices — and
+we report throughput, communication scope, and where the energy went.
+The paper's guidance ("prefer core-local communication where possible")
+falls out of the numbers.
+
+Run:  python examples/energy_aware_pipeline.py
+"""
+
+from repro import Placement, build_machine, build_pipeline, place
+from repro.apps import communication_scope
+from repro.sim import Simulator, to_us
+
+ITEMS = 30
+COMPUTE_PER_STAGE = 100
+
+
+def run_one(strategy: Placement) -> dict:
+    sim = Simulator()
+    slices_x = 2 if strategy is Placement.CROSS_SLICE else 1
+    machine = build_machine(sim, slices_x=slices_x)
+    cores = place(machine, 4, strategy)
+    result = build_pipeline(cores, items=ITEMS, compute_per_stage=COMPUTE_PER_STAGE)
+    sim.run()
+    assert result.complete
+    machine.accounting.update()
+    energy = machine.accounting.breakdown_j()
+    return {
+        "strategy": strategy.value,
+        "scope": communication_scope(cores, machine),
+        "makespan_us": to_us(result.makespan_ps),
+        "core_energy_uj": energy["cores"] * 1e6,
+        "link_energy_uj": energy["links"] * 1e6,
+        "bits_moved": result.bits_moved,
+    }
+
+
+def main() -> None:
+    print(f"4-stage pipeline, {ITEMS} items, {COMPUTE_PER_STAGE} instructions/stage\n")
+    header = (
+        f"{'placement':<14} {'widest comm':<12} {'makespan us':>12} "
+        f"{'core uJ':>10} {'link uJ':>10} {'bits moved':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for strategy in Placement:
+        row = run_one(strategy)
+        print(
+            f"{row['strategy']:<14} {row['scope']:<12} "
+            f"{row['makespan_us']:>12.2f} {row['core_energy_uj']:>10.2f} "
+            f"{row['link_energy_uj']:>10.4f} {row['bits_moved']:>11}"
+        )
+    print(
+        "\nNote how link energy explodes once the pipeline crosses a board "
+        "boundary (10.9 nJ/bit FFC cables, Table I), while core-local "
+        "placement keeps the network idle — the paper's locality ladder."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -64,7 +64,17 @@ from repro.network import ChanendAddress, Token
 from repro.network.ethernet import EthernetBridge
 from repro.network.routing import Direction, Layer, NodeCoord, next_direction
 from repro.network.topology import SwallowTopology
-from repro.obs import MetricsRegistry, MetricsSnapshot, SimProfile
+from repro.obs import (
+    EnergyAttribution,
+    MetricsRegistry,
+    MetricsSnapshot,
+    PowerWatchpoint,
+    SimProfile,
+    Span,
+    SpanRecorder,
+    WatchEvent,
+    attribute_energy,
+)
 from repro.sim import Frequency, Simulator, TraceRecorder
 from repro.xs1 import (
     BehavioralThread,
@@ -93,6 +103,7 @@ __all__ = [
     "Compute",
     "Direction",
     "EnergyAccounting",
+    "EnergyAttribution",
     "EnergyReport",
     "EthernetBridge",
     "FaultCampaign",
@@ -107,6 +118,7 @@ __all__ = [
     "NodeCoord",
     "Placement",
     "PowerGovernor",
+    "PowerWatchpoint",
     "Program",
     "RecvPacket",
     "RecvToken",
@@ -120,13 +132,17 @@ __all__ = [
     "SimProfile",
     "Simulator",
     "Sleep",
+    "Span",
+    "SpanRecorder",
     "SwallowSystem",
     "SwallowTopology",
     "Token",
     "TraceRecorder",
+    "WatchEvent",
     "XCore",
     "active_power_mw",
     "assemble",
+    "attribute_energy",
     "build_client_server",
     "build_machine",
     "build_message_ring",

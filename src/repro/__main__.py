@@ -14,7 +14,13 @@ Commands:
   or JSONL;
 * ``faults`` — run a reliable word stream under a fault campaign
   (default: a flaky link on the stream's route; ``--spec FILE`` for a
-  JSON campaign) and print the campaign report.
+  JSON campaign) and print the campaign report (``--metrics-out`` dumps
+  the final metrics snapshot as JSON);
+* ``spans`` — run a span-instrumented three-stage pipeline and export
+  the causal span tree (span JSONL, or a Chrome trace with cross-core
+  flow arrows);
+* ``energy-report`` — run the same pipeline and print the per-span
+  energy attribution (``--folded`` writes flame-graph folded stacks).
 """
 
 from __future__ import annotations
@@ -252,6 +258,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
     campaign.arm()
     system.run()
     report = campaign.report()
+    if args.metrics_out:
+        snapshot = system.metrics_snapshot()
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(snapshot.as_dict(), sort_keys=True))
+        print(f"wrote metrics snapshot to {args.metrics_out}")
     expected = [i * 7 + 1 for i in range(args.words)]
     if args.json:
         print(json.dumps(
@@ -263,6 +274,96 @@ def cmd_faults(args: argparse.Namespace) -> int:
     print(f"stream: {len(received)}/{args.words} words delivered, "
           f"{'intact' if received == expected else 'CORRUPTED'}")
     return 0 if received == expected else 1
+
+
+def _span_workload(system, seed: int | None = None):
+    """Load a span-instrumented three-stage pipeline onto ``system``.
+
+    Producer → relay → consumer across three cores, every stage under
+    its own child span of one ``pipeline`` root.  Returns
+    ``(recorder, root_span, received)``; the caller closes the root
+    after :meth:`SwallowSystem.run`.
+    """
+    import random
+
+    from repro import Compute, RecvWord, SendWord
+
+    recorder = system.spans()
+    root = recorder.span("pipeline")
+    root.begin(system.sim.now)
+    if seed is None:
+        words, cost = 6, 120
+    else:
+        rng = random.Random(seed)
+        words = rng.randrange(3, 10)
+        cost = rng.randrange(60, 260)
+    first = system.channel(system.core(0), system.core(1))
+    second = system.channel(system.core(1), system.core(10))
+    received: list[int] = []
+
+    def producer():
+        for i in range(words):
+            yield Compute(cost)
+            yield SendWord(first.a, i * 3 + 1)
+
+    def relay():
+        for _ in range(words):
+            value = yield RecvWord(first.b)
+            yield Compute(cost // 2)
+            yield SendWord(second.a, value * 2)
+
+    def consumer():
+        for _ in range(words):
+            received.append((yield RecvWord(second.b)))
+
+    system.spawn_task(system.core(0), producer(), name="produce",
+                      span=root.child("produce"))
+    system.spawn_task(system.core(1), relay(), name="relay",
+                      span=root.child("relay"))
+    system.spawn_task(system.core(10), consumer(), name="consume",
+                      span=root.child("consume"))
+    return recorder, root, received
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    from repro import SwallowSystem
+    from repro.obs import write_chrome_trace
+
+    system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
+    tracer = system.trace() if args.format == "chrome" else None
+    recorder, root, received = _span_workload(system, seed=args.seed)
+    system.run()
+    root.finish(system.sim.now)
+    if args.format == "chrome":
+        write_chrome_trace(tracer.records, args.out, spans=recorder)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(recorder.to_jsonl())
+    print(recorder.render())
+    print(f"pipeline delivered {len(received)} words; wrote "
+          f"{len(recorder.spans)} spans / {len(recorder.messages)} messages "
+          f"to {args.out} ({args.format})")
+    return 0
+
+
+def cmd_energy_report(args: argparse.Namespace) -> int:
+    from repro import SwallowSystem
+
+    system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
+    recorder, root, received = _span_workload(system, seed=args.seed)
+    system.run()
+    root.finish(system.sim.now)
+    attribution = system.energy_attribution()
+    if args.folded:
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write(attribution.folded())
+    if args.json:
+        print(json.dumps(attribution.to_dict(), sort_keys=True))
+        return 0
+    print(attribution.render(top=args.top))
+    if args.folded:
+        print(f"wrote folded stacks to {args.folded}")
+    return 0
 
 
 def _positive_int(text: str) -> int:
@@ -344,7 +445,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="JSON campaign spec file (see FaultCampaign.from_spec)")
     faults.add_argument("--json", action="store_true",
                         help="emit the campaign report as JSON")
+    faults.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="dump the final metrics snapshot as JSON")
     faults.set_defaults(func=cmd_faults)
+    spans = subparsers.add_parser(
+        "spans", help="run a span-traced pipeline; export the span tree"
+    )
+    spans.add_argument("--slices-x", type=int, default=1)
+    spans.add_argument("--slices-y", type=int, default=1)
+    spans.add_argument("--seed", type=int, default=None,
+                       help="vary the pipeline deterministically")
+    spans.add_argument("--out", default="spans.json", help="output file")
+    spans.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome",
+                       help="chrome = Perfetto trace with flow arrows; "
+                            "jsonl = raw span/message records")
+    spans.set_defaults(func=cmd_spans)
+    energy_report = subparsers.add_parser(
+        "energy-report",
+        help="run a span-traced pipeline; print per-span energy attribution",
+    )
+    energy_report.add_argument("--slices-x", type=int, default=1)
+    energy_report.add_argument("--slices-y", type=int, default=1)
+    energy_report.add_argument("--seed", type=int, default=None)
+    energy_report.add_argument("--top", type=_positive_int, default=12,
+                               help="rows to show in the table")
+    energy_report.add_argument("--folded", default=None, metavar="PATH",
+                               help="also write flame-graph folded stacks")
+    energy_report.add_argument("--json", action="store_true",
+                               help="emit the attribution as JSON")
+    energy_report.set_defaults(func=cmd_energy_report)
     args = parser.parse_args(argv)
     return args.func(args)
 

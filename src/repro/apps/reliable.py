@@ -159,6 +159,11 @@ class ReliableChannel:
             if attempts > 0:
                 self.stats.retries += 1
                 self.stats.retry_bits += FRAME_WIRE_TOKENS * TOKEN_BITS
+                # Charge the retry to the sending thread's causal span
+                # too, so per-span ledgers expose fault overhead.
+                thread = self.tx.core.current_thread
+                if thread is not None and thread.span is not None:
+                    thread.span.retry_bits += FRAME_WIRE_TOKENS * TOKEN_BITS
             attempts += 1
             self.stats.frames_sent += 1
             yield SendWord(self.tx, seq & 0xFFFF_FFFF)

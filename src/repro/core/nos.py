@@ -61,6 +61,10 @@ class TaskHandle:
     spawn_fn: Callable[[XCore], HardwareThread] | None = None
     #: Code size charged per (re-)upload over the Ethernet bridge.
     code_bits: int = 0
+    #: Causal span charged for this task's work (when the runtime was
+    #: built with a span recorder).  Restarts keep the same span, so a
+    #: healed task's energy stays attributed across cores.
+    span: object | None = None
 
     @property
     def started(self) -> bool:
@@ -81,9 +85,17 @@ class NanoOS:
         system: SwallowSystem,
         bridge: EthernetBridge | None = None,
         fault_budget: int | None = None,
+        spans: bool = False,
     ):
         self.system = system
         self.bridge = bridge
+        #: With ``spans=True`` every submitted behavioural task gets a
+        #: causal span (child of one ``nos`` root span) on the system's
+        #: span recorder, feeding per-task energy attribution.
+        self.span_root = None
+        if spans:
+            recorder = system.spans()
+            self.span_root = recorder.span("nos")
         self._next_task_id = 0
         self.tasks: list[TaskHandle] = []
         self._upload_busy_until_ps = 0
@@ -138,9 +150,23 @@ class NanoOS:
         self._next_task_id += 1
         self.tasks.append(handle)
         task_name = name or f"nos.t{handle.task_id}"
+        if self.span_root is not None:
+            handle.span = self.span_root.child(task_name)
 
         def spawn(on_core: XCore) -> HardwareThread:
-            return BehavioralThread(on_core, task_factory(on_core), name=task_name)
+            thread = BehavioralThread(
+                on_core, task_factory(on_core), name=task_name
+            )
+            if handle.span is not None:
+                if handle.span.node_id is None:
+                    handle.span.node_id = on_core.node_id
+                handle.span.begin(self.system.sim.now)
+                # A restart after a core death re-opens the span the
+                # dying thread closed; it finally closes at real
+                # completion.
+                handle.span.end_ps = None
+                thread.span = handle.span
+            return thread
 
         handle.spawn_fn = spawn
         handle.code_bits = 8 * 1024

@@ -14,6 +14,7 @@ from repro.board.assembly import MachineAssembly, build_machine
 from repro.core.transparency import EnergyReport, build_report
 from repro.network.ethernet import EthernetBridge
 from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.obs.spans import Span, SpanRecorder
 from repro.sim import Frequency, Simulator, TraceRecorder, us
 from repro.xs1.assembler import Program
 from repro.xs1.behavioral import BehavioralThread
@@ -54,6 +55,10 @@ class SwallowSystem:
         self.sim.register_metrics(self.metrics)
         self.machine.register_metrics(self.metrics)
         self.tracer: TraceRecorder | None = None
+        self._trace_metrics_registered = False
+        #: Machine-wide causal-span recorder; created on first use via
+        #: :meth:`spans`.
+        self.span_recorder: SpanRecorder | None = None
 
     # -- structure ---------------------------------------------------------------
 
@@ -95,9 +100,26 @@ class SwallowSystem:
         """Start an assembled program on a hardware thread of ``core``."""
         return core.spawn(program, **kwargs)
 
-    def spawn_task(self, core: XCore, generator, name: str | None = None) -> BehavioralThread:
-        """Start a behavioural task on ``core``."""
-        return BehavioralThread(core, generator, name=name)
+    def spawn_task(
+        self,
+        core: XCore,
+        generator,
+        name: str | None = None,
+        span: Span | None = None,
+    ) -> BehavioralThread:
+        """Start a behavioural task on ``core``.
+
+        With a ``span`` (see :meth:`spans`), the task's instructions,
+        sends and per-hop wire traffic are charged to it; the span opens
+        now and closes when the task halts.
+        """
+        thread = BehavioralThread(core, generator, name=name)
+        if span is not None:
+            if span.node_id is None:
+                span.node_id = core.node_id
+            span.begin(self.sim.now)
+            thread.span = span
+        return thread
 
     # -- execution -----------------------------------------------------------------
 
@@ -148,11 +170,41 @@ class SwallowSystem:
         recorder = tracer or TraceRecorder(kinds=kinds, capacity=capacity)
         self.machine.set_tracer(recorder)
         self.tracer = recorder
+        if not self._trace_metrics_registered:
+            # Lazy series reading whatever recorder is current, so
+            # re-attaching a tracer never duplicates the series.
+            self.metrics.counter_fn(
+                "trace.dropped_events",
+                lambda: self.tracer.dropped if self.tracer is not None else 0,
+            )
+            self._trace_metrics_registered = True
         return recorder
 
+    def spans(self, trace_id: int = 1) -> SpanRecorder:
+        """The machine-wide causal-span recorder (created on first call).
+
+        Create spans from it, attach them to tasks via
+        :meth:`spawn_task`, and export with
+        :func:`repro.obs.energyscope.attribute_energy` or the Chrome
+        trace writer (flow events across cores).
+        """
+        if self.span_recorder is None:
+            self.span_recorder = SpanRecorder(trace_id=trace_id)
+        return self.span_recorder
+
+    def energy_attribution(self):
+        """Per-span energy partition; see :func:`attribute_energy`."""
+        from repro.obs.energyscope import attribute_energy
+
+        return attribute_energy(self, self.span_recorder)
+
     def profile(self):
-        """Profile the simulation kernel; see :meth:`Simulator.profile`."""
-        return self.sim.profile()
+        """Profile the simulation kernel; see :meth:`Simulator.profile`.
+
+        The system's attached tracer (if any) is passed along so the
+        profile surfaces flight-recorder ring-buffer evictions.
+        """
+        return self.sim.profile(tracer=self.tracer)
 
     def measured_gips(self) -> float:
         """Aggregate instruction throughput achieved so far, in GIPS."""

@@ -41,6 +41,10 @@ class EnergyReport:
     link_energy_j: float = 0.0
     support_energy_j: float = 0.0
     link_bits_by_class: dict[str, float] = field(default_factory=dict)
+    #: Link energy attributable to reliable-channel retransmissions —
+    #: informational (a slice *of* ``link_energy_j``, not added on top),
+    #: so fault campaigns show up in transparency reports.
+    retry_energy_j: float = 0.0
 
     @property
     def core_energy_j(self) -> float:
@@ -72,6 +76,7 @@ class EnergyReport:
             "core_energy_j": self.core_energy_j,
             "link_energy_j": self.link_energy_j,
             "support_energy_j": self.support_energy_j,
+            "retry_energy_j": self.retry_energy_j,
             "total_instructions": self.total_instructions,
             "mean_power_w": self.mean_power_w,
             "link_bits_by_class": dict(self.link_bits_by_class),
@@ -108,6 +113,11 @@ class EnergyReport:
             f"support {self.support_energy_j * 1e6:.1f} uJ, "
             f"mean power {self.mean_power_w:.3f} W"
         )
+        if self.retry_energy_j > 0:
+            lines.append(
+                f"of link energy, {self.retry_energy_j * 1e9:.2f} nJ "
+                f"was retransmission (reliable-channel retries)"
+            )
         return "\n".join(lines)
 
 
@@ -192,6 +202,7 @@ def build_report(system: "SwallowSystem") -> EnergyReport:
         link_energy_j=accounting.link_energy_j,
         support_energy_j=accounting.support_energy_j(),
         link_bits_by_class={name: s["bits"] for name, s in stats.items()},
+        retry_energy_j=accounting.retry_energy_j(),
     )
 
 
@@ -220,4 +231,5 @@ def _report_from_snapshot(system: "SwallowSystem", snapshot) -> EnergyReport:
             labels["class"]: bits
             for labels, bits in snapshot.series("fabric.bits")
         },
+        retry_energy_j=snapshot.value("energy.retry_j", default=0.0),
     )

@@ -72,6 +72,9 @@ class EnergyAccounting:
         self._start_time = sim.now
         self._last_link_bits: dict[str, float] = {}
         self.link_energy_j = 0.0
+        #: Reliable channels whose retransmission energy the ledger
+        #: reports (name -> channel); see :meth:`register_retry_channel`.
+        self.retry_channels: dict[str, object] = {}
 
     def add_core(self, core: XCore) -> None:
         """Track an additional core from now on."""
@@ -110,6 +113,25 @@ class EnergyAccounting:
     def elapsed_s(self) -> float:
         """Wall-clock span of the ledger, in seconds."""
         return (self.sim.now - self._start_time) / PS_PER_S
+
+    def register_retry_channel(self, name: str, channel) -> None:
+        """Report ``channel``'s retransmission energy through the ledger.
+
+        ``channel`` is anything with a ``retry_energy_j(accounting)``
+        method (a :class:`~repro.apps.reliable.ReliableChannel`).  Retry
+        traffic is ordinary traffic — its joules are already inside
+        :attr:`link_energy_j` — so :meth:`retry_energy_j` is an
+        *informational overlay* (how much of the link total was
+        retransmission), never added to :meth:`total_energy_j`.
+        """
+        self.retry_channels[name] = channel
+
+    def retry_energy_j(self) -> float:
+        """Link energy spent on registered channels' retransmissions."""
+        return sum(
+            channel.retry_energy_j(self)
+            for channel in self.retry_channels.values()
+        )
 
     def support_energy_j(self) -> float:
         """Per-node support energy (DC-DC + I/O + other) so far."""
@@ -161,6 +183,7 @@ class EnergyAccounting:
                      tracker.last_window_power_mw)
             emit("energy.links_j", {}, self.link_energy_j)
             emit("energy.support_j", {}, self.support_energy_j())
+            emit("energy.retry_j", {}, self.retry_energy_j())
             emit("energy.elapsed_s", {}, self.elapsed_s)
 
         registry.register_collector(_collect)

@@ -296,10 +296,18 @@ class FaultCampaign:
     # -- integration --------------------------------------------------------
 
     def register_channel(self, name: str, channel: "ReliableChannel") -> None:
-        """Track a reliable channel's retry behaviour in the report."""
+        """Track a reliable channel's retry behaviour in the report.
+
+        The channel is also registered with the system's energy ledger
+        (:meth:`~repro.energy.accounting.EnergyAccounting.register_retry_channel`),
+        so retransmission energy appears in transparency reports and in
+        the ``energy.retry_j`` metric series, not just the campaign
+        report.
+        """
         if name in self.channels:
             raise ValueError(f"channel {name!r} already registered")
         self.channels[name] = channel
+        self.system.accounting.register_retry_channel(name, channel)
 
     def register_metrics(self, registry: "MetricsRegistry") -> None:
         """Publish campaign series (lazily collected).

@@ -15,6 +15,7 @@ a link from the route-opening header until the closing END control token
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import TYPE_CHECKING, Callable
 
 from repro.network.params import SWITCH_BUFFER_TOKENS, LinkSpec
@@ -164,12 +165,26 @@ class HalfLink:
             and self._sent_since_seize >= HEADER_TOKENS
         ):
             outcome = self.fault_hook(token)
+            if (
+                outcome is not None
+                and outcome is not token
+                and outcome.span is None
+                and token.span is not None
+            ):
+                # A corrupting hook rebuilt the token; keep the causal
+                # span riding so downstream hops stay attributed.
+                outcome = replace(outcome, span=token.span)
         self._sent_since_seize += 1
         self.busy = True
         self.credits -= 1
         self.tokens_carried += 1
         self.bits_carried += TOKEN_BITS
         self.busy_time_ps += self.token_time_ps
+        if token.span is not None:
+            # Charge the wire bits to the originating span, per link
+            # class, mirroring bits_carried: dropped and corrupted
+            # tokens still cost serialization energy (§V, Table I).
+            token.span.add_wire_bits(self.spec.name, TOKEN_BITS)
         if outcome is None:
             self.tokens_dropped += 1
             if self.tracer is not None:

@@ -12,7 +12,11 @@ just its value plus a control flag.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.spans import Span
 
 #: Control-token codes (mirrors :mod:`repro.xs1.isa`).
 CT_END = 0x01
@@ -32,10 +36,19 @@ HEADER_TOKENS = 3
 
 @dataclass(frozen=True)
 class Token:
-    """One 8-bit network token."""
+    """One 8-bit network token.
+
+    ``span`` is an optional causal-tracing annotation (see
+    :mod:`repro.obs.spans`): the span active on the sending thread when
+    the token entered its transmit buffer.  It rides along every hop so
+    links can charge wire energy to the originating span.  It is
+    excluded from equality, repr and hashing, so digests and token
+    comparisons are identical with tracing on or off.
+    """
 
     value: int
     is_control: bool = False
+    span: "Span | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.value <= 0xFF:

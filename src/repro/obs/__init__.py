@@ -28,7 +28,13 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     series_key,
 )
+from repro.obs.energyscope import (
+    AttributionRow,
+    EnergyAttribution,
+    attribute_energy,
+)
 from repro.obs.profiling import SimProfile, SimProfiler, callback_source
+from repro.obs.spans import Span, SpanMessage, SpanRecorder
 from repro.obs.trace_export import (
     chrome_trace_json,
     source_category,
@@ -37,17 +43,26 @@ from repro.obs.trace_export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.watch import PowerWatchpoint, WatchEvent
 
 __all__ = [
+    "AttributionRow",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EnergyAttribution",
     "Gauge",
     "Histogram",
     "Metric",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "PowerWatchpoint",
     "SimProfile",
     "SimProfiler",
+    "Span",
+    "SpanMessage",
+    "SpanRecorder",
+    "WatchEvent",
+    "attribute_energy",
     "callback_source",
     "chrome_trace_json",
     "series_key",

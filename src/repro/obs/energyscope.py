@@ -1,0 +1,239 @@
+"""Per-span energy attribution: the "energy flame graph".
+
+Takes the global ledgers (:class:`repro.energy.accounting.EnergyAccounting`)
+and a span tree (:class:`repro.obs.spans.SpanRecorder`) and partitions
+every joule the machine spent onto spans:
+
+* **core energy** — each core's integrated Eq. 1 energy is split across
+  the spans that issued instructions on it, proportionally to issue
+  count (the XS1's fixed-cost pipeline makes the share well-posed, same
+  argument as :func:`repro.core.transparency.attribute_to_threads`);
+  whatever no span claims lands on a synthetic ``<idle coreN>`` row.
+* **link energy** — each span's per-hop wire-bit ledger is priced with
+  Table I per-bit energies; the unattributed remainder (route headers,
+  untraced traffic) lands on ``<network>``.
+* **support energy** — per-node DC-DC/I/O power is not caused by
+  software, so it stays on a synthetic ``<support>`` row.
+
+The partition is exhaustive by construction — synthetic rows are
+computed by subtraction — so the folded-stacks output sums to the
+ledger's :meth:`~repro.energy.accounting.EnergyAccounting.total_energy_j`
+to floating-point accuracy, and per-span E/C ratios feed
+:func:`repro.analysis.ec_ratio.measured_ec` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.ec_ratio import measured_ec
+from repro.energy.link_energy import traffic_energy_joules
+from repro.obs.spans import Span, SpanRecorder
+
+if TYPE_CHECKING:
+    from repro.core.platform import SwallowSystem
+
+
+@dataclass(frozen=True)
+class AttributionRow:
+    """Energy attributed to one span (or one synthetic residual bucket)."""
+
+    path: str
+    name: str
+    span_id: int | None
+    node_id: int | None
+    instructions: int
+    bits_sent: int
+    retry_bits: int
+    core_j: float
+    link_j: float
+    support_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Everything charged to this row."""
+        return self.core_j + self.link_j + self.support_j
+
+    @property
+    def ec_ratio(self) -> float:
+        """This row's E/C (computation bits per communication bit)."""
+        if self.bits_sent == 0:
+            return float("inf") if self.instructions else 0.0
+        return measured_ec(self.instructions, self.bits_sent)
+
+
+@dataclass
+class EnergyAttribution:
+    """The full per-span partition of the machine's energy."""
+
+    rows: list[AttributionRow]
+    #: The global ledger total at attribution time (cores+links+support).
+    total_j: float
+    #: Link energy attributable to ReliableChannel retransmissions
+    #: (informational: already contained in the rows' link energy).
+    retry_j: float
+    elapsed_s: float
+
+    def attributed_j(self) -> float:
+        """Sum over all rows — equals :attr:`total_j` up to float error."""
+        return sum(row.total_j for row in self.rows)
+
+    def span_rows(self) -> list[AttributionRow]:
+        """Rows backed by real spans (synthetic buckets excluded)."""
+        return [row for row in self.rows if row.span_id is not None]
+
+    def folded(self, scale: float = 1.0) -> str:
+        """Folded-stacks text (``root;child value`` per line, joules).
+
+        Load into any flame-graph tool (``flamegraph.pl``, speedscope's
+        folded importer).  ``scale`` multiplies values (e.g. ``1e9`` for
+        nanojoules).  Values use ``repr`` so the output is byte-stable
+        and sums reproduce the ledger total exactly.
+        """
+        lines = [
+            f"{row.path} {row.total_j * scale!r}"
+            for row in self.rows
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def ec_rows(self) -> list[tuple[str, int, int, float]]:
+        """Per-span ``(path, instructions, bits_sent, E/C)`` rows."""
+        return [
+            (row.path, row.instructions, row.bits_sent, row.ec_ratio)
+            for row in self.span_rows()
+        ]
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form."""
+        return {
+            "elapsed_s": self.elapsed_s,
+            "total_j": self.total_j,
+            "attributed_j": self.attributed_j(),
+            "retry_j": self.retry_j,
+            "rows": [
+                {
+                    "path": row.path,
+                    "span_id": row.span_id,
+                    "node": row.node_id,
+                    "instructions": row.instructions,
+                    "bits_sent": row.bits_sent,
+                    "retry_bits": row.retry_bits,
+                    "core_j": row.core_j,
+                    "link_j": row.link_j,
+                    "support_j": row.support_j,
+                    "total_j": row.total_j,
+                }
+                for row in self.rows
+            ],
+        }
+
+    def render(self, top: int = 12) -> str:
+        """A printable per-span energy table (largest consumers first)."""
+        lines = [
+            f"energy attribution over {self.elapsed_s * 1e6:.1f} us: "
+            f"{self.total_j * 1e6:.2f} uJ total, "
+            f"{self.retry_j * 1e9:.2f} nJ in retries",
+            f"{'span':<34} {'instr':>8} {'sent(b)':>8} "
+            f"{'core(uJ)':>9} {'link(nJ)':>9} {'total(uJ)':>10}",
+        ]
+        ranked = sorted(self.rows, key=lambda r: (-r.total_j, r.path))
+        for row in ranked[:top]:
+            lines.append(
+                f"{row.path:<34} {row.instructions:>8} {row.bits_sent:>8} "
+                f"{row.core_j * 1e6:>9.3f} {row.link_j * 1e9:>9.2f} "
+                f"{row.total_j * 1e6:>10.3f}"
+            )
+        if len(ranked) > top:
+            lines.append(f"  ... {len(ranked) - top} more rows")
+        return "\n".join(lines)
+
+
+def _span_link_j(span: Span) -> float:
+    """Table I energy of one span's per-class wire bits."""
+    if not span.wire_bits_by_class:
+        return 0.0
+    return traffic_energy_joules(dict(span.wire_bits_by_class))
+
+
+def attribute_energy(
+    system: "SwallowSystem", recorder: SpanRecorder | None = None
+) -> EnergyAttribution:
+    """Partition the system's energy ledger across its recorded spans."""
+    recorder = recorder if recorder is not None else system.span_recorder
+    spans = list(recorder.spans) if recorder is not None else []
+    accounting = system.accounting
+    accounting.update()
+    rows: list[AttributionRow] = []
+
+    # -- cores: proportional split by issued instructions -------------------
+    span_core_j: dict[int, float] = {span.span_id: 0.0 for span in spans}
+    for core in system.cores:
+        energy = accounting.trackers[core.node_id].energy_j
+        total_instructions = core.stats.total_instructions
+        attributed = 0.0
+        if total_instructions > 0:
+            for span in spans:
+                issued = span.instr_by_node.get(core.node_id, 0)
+                if issued == 0:
+                    continue
+                share = energy * issued / total_instructions
+                span_core_j[span.span_id] += share
+                attributed += share
+        residual = energy - attributed
+        if residual != 0.0:
+            rows.append(
+                AttributionRow(
+                    path=f"<idle core{core.node_id}>",
+                    name=f"<idle core{core.node_id}>",
+                    span_id=None, node_id=core.node_id,
+                    instructions=0, bits_sent=0, retry_bits=0,
+                    core_j=residual, link_j=0.0, support_j=0.0,
+                )
+            )
+
+    # -- links: Table I pricing of each span's wire-bit ledger --------------
+    span_link_j = {span.span_id: _span_link_j(span) for span in spans}
+    network_residual = accounting.link_energy_j - sum(span_link_j.values())
+
+    for span in spans:
+        rows.append(
+            AttributionRow(
+                path=span.path,
+                name=span.name,
+                span_id=span.span_id,
+                node_id=span.node_id,
+                instructions=span.instructions,
+                bits_sent=span.bits_sent,
+                retry_bits=span.retry_bits,
+                core_j=span_core_j[span.span_id],
+                link_j=span_link_j[span.span_id],
+                support_j=0.0,
+            )
+        )
+    if network_residual != 0.0:
+        rows.append(
+            AttributionRow(
+                path="<network>", name="<network>", span_id=None,
+                node_id=None, instructions=0, bits_sent=0, retry_bits=0,
+                core_j=0.0, link_j=network_residual, support_j=0.0,
+            )
+        )
+
+    # -- support: not caused by software ------------------------------------
+    support = accounting.support_energy_j()
+    if support != 0.0:
+        rows.append(
+            AttributionRow(
+                path="<support>", name="<support>", span_id=None,
+                node_id=None, instructions=0, bits_sent=0, retry_bits=0,
+                core_j=0.0, link_j=0.0, support_j=support,
+            )
+        )
+
+    return EnergyAttribution(
+        rows=rows,
+        total_j=accounting.total_energy_j(),
+        retry_j=accounting.retry_energy_j(),
+        elapsed_s=accounting.elapsed_s,
+    )

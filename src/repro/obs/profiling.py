@@ -51,6 +51,11 @@ class SimProfile:
     queue_depth_high_water: int = 0
     sim_time_ps: int = 0
     wall_time_s: float = 0.0
+    #: Trace records evicted by the attached recorder's ring buffer
+    #: during this window (0 when no tracer was attached or nothing was
+    #: lost) — surfaces flight-recorder truncation instead of silently
+    #: dropping history.
+    trace_dropped_events: int = 0
 
     @property
     def sim_wall_ratio(self) -> float:
@@ -79,6 +84,7 @@ class SimProfile:
             "wall_time_s": self.wall_time_s,
             "sim_wall_ratio": self.sim_wall_ratio,
             "events_per_sec": self.events_per_sec,
+            "trace_dropped_events": self.trace_dropped_events,
         }
 
     def render(self, top: int = 12) -> str:
@@ -88,7 +94,11 @@ class SimProfile:
             f"({self.events_per_sec:,.0f} ev/s), "
             f"{self.sim_time_ps / 1e6:.1f} us simulated "
             f"(sim/wall {self.sim_wall_ratio:.2e}), "
-            f"queue high-water {self.queue_depth_high_water}",
+            f"queue high-water {self.queue_depth_high_water}"
+            + (
+                f", TRACE DROPPED {self.trace_dropped_events} records"
+                if self.trace_dropped_events else ""
+            ),
         ]
         ranked = sorted(self.events_by_source.items(),
                         key=lambda kv: (-kv[1], kv[0]))

@@ -22,6 +22,7 @@ import json
 from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:
+    from repro.obs.spans import SpanRecorder
     from repro.sim.tracing import TraceRecord
 
 #: Process ids (and display names) for the Chrome trace, per category.
@@ -31,6 +32,7 @@ CATEGORY_PIDS: dict[str, int] = {
     "links": 3,
     "measurement": 4,
     "other": 5,
+    "spans": 6,
 }
 
 
@@ -70,13 +72,92 @@ def to_jsonl(records: Iterable["TraceRecord"]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def to_chrome_trace(records: Iterable["TraceRecord"]) -> dict[str, Any]:
+def _span_events(spans: "SpanRecorder") -> list[dict[str, Any]]:
+    """Chrome events for a span tree: slices, tracks and flow arrows.
+
+    Spans become complete events (``"ph": "X"``) in a dedicated
+    ``swallow.spans`` process with one track per node; cross-span
+    messages become flow start/finish pairs (``"s"``/``"f"``), which
+    Perfetto draws as arrows from the producer's track to the
+    consumer's — the causal cross-core picture.
+    """
+    pid = CATEGORY_PIDS["spans"]
+    started = [s for s in spans.spans if s.start_ps is not None]
+    nodes = sorted(
+        {s.node_id for s in started if s.node_id is not None}
+    )
+    tids = {node: tid for tid, node in enumerate(nodes)}
+    unplaced_tid = len(nodes)
+
+    def tid_of(span) -> int:
+        if span.node_id is None:
+            return unplaced_tid
+        return tids[span.node_id]
+
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "swallow.spans"},
+    }]
+    for node in nodes:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": tids[node], "args": {"name": f"node{node}"},
+        })
+    if any(s.node_id is None for s in started):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": unplaced_tid, "args": {"name": "unplaced"},
+        })
+    # Open spans are drawn up to the latest time the trace knows about.
+    horizon = 0
+    for span in started:
+        horizon = max(horizon, span.start_ps, span.end_ps or 0)
+    for msg in spans.messages:
+        horizon = max(horizon, msg.recv_ps)
+    by_id = {span.span_id: span for span in spans.spans}
+    for span in started:
+        end_ps = span.end_ps if span.end_ps is not None else horizon
+        events.append({
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": span.start_ps / 1e6,
+            "dur": (end_ps - span.start_ps) / 1e6,
+            "pid": pid,
+            "tid": tid_of(span),
+            "args": {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "instructions": span.instructions,
+                "bits_sent": span.bits_sent,
+            },
+        })
+    for index, msg in enumerate(spans.messages):
+        src, dst = by_id[msg.src_id], by_id[msg.dst_id]
+        common = {"name": "msg", "cat": "span", "id": index, "pid": pid}
+        events.append({
+            **common, "ph": "s", "ts": msg.send_ps / 1e6, "tid": tid_of(src),
+        })
+        events.append({
+            **common, "ph": "f", "bp": "e", "ts": msg.recv_ps / 1e6,
+            "tid": tid_of(dst),
+        })
+    return events
+
+
+def to_chrome_trace(
+    records: Iterable["TraceRecord"],
+    spans: "SpanRecorder | None" = None,
+) -> dict[str, Any]:
     """Build a Chrome trace-event document from trace records.
 
     Every record becomes a thread-scoped *instant* event (``"ph": "i"``)
     on the track of its source; metadata events name one process per
     component category and one thread per source.  Timestamps are
     microseconds (``time_ps / 1e6``), the unit the trace viewers expect.
+    With a :class:`~repro.obs.spans.SpanRecorder`, span slices and
+    cross-span flow arrows are added on a dedicated process (see
+    :func:`_span_events`).
     """
     records = list(records)
     sources: dict[str, str] = {}
@@ -112,12 +193,17 @@ def to_chrome_trace(records: Iterable["TraceRecord"]) -> dict[str, Any]:
             "tid": tids[rec.source],
             "args": {"detail": [str(d) for d in rec.detail]},
         })
+    if spans is not None:
+        events.extend(_span_events(spans))
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
-def chrome_trace_json(records: Iterable["TraceRecord"]) -> str:
+def chrome_trace_json(
+    records: Iterable["TraceRecord"],
+    spans: "SpanRecorder | None" = None,
+) -> str:
     """The Chrome trace document as canonical (byte-stable) JSON."""
-    return json.dumps(to_chrome_trace(records), sort_keys=True,
+    return json.dumps(to_chrome_trace(records, spans=spans), sort_keys=True,
                       separators=(",", ":"))
 
 
@@ -127,7 +213,10 @@ def write_jsonl(records: Iterable["TraceRecord"], path) -> None:
         fh.write(to_jsonl(records))
 
 
-def write_chrome_trace(records: Iterable["TraceRecord"], path) -> None:
+def write_chrome_trace(
+    records: Iterable["TraceRecord"], path,
+    spans: "SpanRecorder | None" = None,
+) -> None:
     """Write the Chrome trace-event export to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(chrome_trace_json(records))
+        fh.write(chrome_trace_json(records, spans=spans))

@@ -1,0 +1,213 @@
+"""Live power watchpoints: the paper's measure-and-adapt loop, in software.
+
+Swallow's defining capability is that running software can *observe its
+own power* through the shunt/ADC chain and respond (§II).  A
+:class:`PowerWatchpoint` packages that loop: it samples a
+:class:`~repro.energy.measurement.MeasurementBoard` periodically
+(respecting the ADC's 2 MS/s single-channel / 1 MS/s all-channel caps),
+maintains a windowed mean, and fires a simulator callback when a
+threshold or energy-budget rule trips — at which point the program can,
+for example, request a DVFS step down and watch the power fall on the
+very next windows.
+
+Watchpoints are ordinary simulator processes: sampling is bounded (a
+fixed duration, like :meth:`MeasurementBoard.record_trace`) so an armed
+watchpoint never keeps the event queue alive forever, and everything is
+deterministic — same configuration, same firings, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.energy.measurement import (
+    MAX_ALL_RATE_HZ,
+    MAX_SINGLE_RATE_HZ,
+    MeasurementBoard,
+    SamplingRateError,
+)
+from repro.sim import PS_PER_S, Process
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One watchpoint firing."""
+
+    time_ps: int
+    rule: str            # "above", "below" or "budget"
+    window_mean_mw: float
+    threshold: float     # mW for threshold rules, joules for "budget"
+
+    def describe(self) -> str:
+        """A printable one-line description of the firing."""
+        t_us = self.time_ps / 1e6
+        if self.rule == "budget":
+            return (
+                f"[{t_us:9.1f} us] budget exceeded: "
+                f"{self.window_mean_mw:.3f} J spent > {self.threshold:.3f} J"
+            )
+        op = ">" if self.rule == "above" else "<"
+        return (
+            f"[{t_us:9.1f} us] power {self.rule} threshold: "
+            f"{self.window_mean_mw:.1f} mW {op} {self.threshold:.1f} mW"
+        )
+
+
+class PowerWatchpoint:
+    """A windowed power monitor with threshold/budget rules.
+
+    Parameters
+    ----------
+    board:
+        The slice's measurement board to sample.
+    channel:
+        Rail index to watch, or ``None`` to watch the sum of all rails
+        (capped at 1 MS/s instead of 2 MS/s, as in the paper).
+    rate_hz:
+        ADC sampling rate.
+    window_samples:
+        Samples per evaluation window; rules are checked against the
+        window mean, so short spikes shorter than a window are ignored.
+    above_mw / below_mw:
+        Threshold rules: fire when the window mean crosses the level.
+    budget_j:
+        Energy-budget rule: fire (once) when the energy integrated from
+        the watchpoint's own samples exceeds this many joules.
+    on_fire:
+        ``on_fire(watchpoint, event)`` callback run inside the simulation
+        at the moment of the firing — the program's chance to adapt.
+    cooldown_windows:
+        Quiet windows required after a threshold firing before the same
+        rule may fire again (prevents a sustained overload from firing
+        every window).
+    """
+
+    def __init__(
+        self,
+        board: MeasurementBoard,
+        channel: int | None = None,
+        rate_hz: float = 250_000.0,
+        window_samples: int = 4,
+        above_mw: float | None = None,
+        below_mw: float | None = None,
+        budget_j: float | None = None,
+        on_fire: Callable[["PowerWatchpoint", WatchEvent], None] | None = None,
+        cooldown_windows: int = 1,
+        name: str = "watch",
+    ):
+        cap = MAX_SINGLE_RATE_HZ if channel is not None else MAX_ALL_RATE_HZ
+        if rate_hz > cap:
+            raise SamplingRateError(
+                f"{rate_hz:g} S/s exceeds the {cap:g} S/s ADC limit"
+            )
+        if rate_hz <= 0:
+            raise SamplingRateError("sampling rate must be positive")
+        if window_samples < 1:
+            raise ValueError("window must hold at least one sample")
+        if above_mw is None and below_mw is None and budget_j is None:
+            raise ValueError("a watchpoint needs at least one rule")
+        self.board = board
+        self.channel = channel
+        self.rate_hz = rate_hz
+        self.window_samples = window_samples
+        self.above_mw = above_mw
+        self.below_mw = below_mw
+        self.budget_j = budget_j
+        self.on_fire = on_fire
+        self.cooldown_windows = cooldown_windows
+        self.name = name
+        self.firings: list[WatchEvent] = []
+        self.samples_taken = 0
+        #: Energy (J) integrated from this watchpoint's own samples —
+        #: the *measured* energy, quantisation and all, not the ledger's.
+        self.energy_j = 0.0
+        self._armed = False
+        self._cooldown = {"above": 0, "below": 0}
+        self._budget_fired = False
+
+    # -- control ------------------------------------------------------------
+
+    def arm(self, duration_s: float) -> "PowerWatchpoint":
+        """Start sampling for ``duration_s`` of simulated time."""
+        if self._armed:
+            raise RuntimeError(f"{self.name}: already armed")
+        self._armed = True
+        count = int(duration_s * self.rate_hz)
+        interval_ps = round(PS_PER_S / self.rate_hz)
+        Process(
+            self.board.sim, self._sampler(count, interval_ps),
+            name=f"watchpoint-{self.name}",
+        )
+        return self
+
+    def disarm(self) -> None:
+        """Stop sampling; the pending sample wakeup becomes a no-op."""
+        self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        """True while the sampling process is live."""
+        return self._armed
+
+    # -- sampling -----------------------------------------------------------
+
+    def _read_mw(self) -> float:
+        if self.channel is not None:
+            return self.board.sample_channel(self.channel)
+        return sum(self.board.sample_all())
+
+    def _sampler(self, count: int, interval_ps: int):
+        interval_s = interval_ps / PS_PER_S
+        window: list[float] = []
+        for _ in range(count):
+            if not self._armed:
+                return
+            power_mw = self._read_mw()
+            self.samples_taken += 1
+            self.energy_j += power_mw * 1e-3 * interval_s
+            window.append(power_mw)
+            if self.budget_j is not None and not self._budget_fired \
+                    and self.energy_j > self.budget_j:
+                self._budget_fired = True
+                self._fire("budget", self.energy_j, self.budget_j)
+            if len(window) >= self.window_samples:
+                mean = sum(window) / len(window)
+                window.clear()
+                self._evaluate(mean)
+            yield interval_ps
+        self._armed = False
+
+    def _evaluate(self, mean_mw: float) -> None:
+        fired: set[str] = set()
+        if self.above_mw is not None and mean_mw > self.above_mw:
+            if self._cooldown["above"] == 0:
+                self._cooldown["above"] = self.cooldown_windows
+                self._fire("above", mean_mw, self.above_mw)
+                fired.add("above")
+        if self.below_mw is not None and mean_mw < self.below_mw:
+            if self._cooldown["below"] == 0:
+                self._cooldown["below"] = self.cooldown_windows
+                self._fire("below", mean_mw, self.below_mw)
+                fired.add("below")
+        # A firing buys exactly ``cooldown_windows`` quiet windows: the
+        # counter only starts draining on the windows after the firing.
+        for rule in ("above", "below"):
+            if rule not in fired and self._cooldown[rule] > 0:
+                self._cooldown[rule] -= 1
+
+    def _fire(self, rule: str, observed: float, threshold: float) -> None:
+        event = WatchEvent(
+            time_ps=self.board.sim.now, rule=rule,
+            window_mean_mw=observed, threshold=threshold,
+        )
+        self.firings.append(event)
+        if self.on_fire is not None:
+            self.on_fire(self, event)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PowerWatchpoint {self.name} "
+            f"{'armed' if self._armed else 'idle'}, "
+            f"{len(self.firings)} firing(s)>"
+        )

@@ -203,7 +203,7 @@ class Simulator:
     # ------------------------------------------------------------------
 
     @contextmanager
-    def profile(self) -> "Iterator[SimProfile]":
+    def profile(self, tracer=None) -> "Iterator[SimProfile]":
         """Profile the simulator for the duration of a ``with`` block.
 
         Yields a :class:`~repro.obs.profiling.SimProfile` that is filled
@@ -214,11 +214,16 @@ class Simulator:
             print(profile.render())
 
         Profiling nests: an inner ``profile()`` temporarily replaces the
-        outer hook and restores it on exit.
+        outer hook and restores it on exit.  With a ``tracer``
+        (a :class:`~repro.sim.tracing.TraceRecorder`), the profile also
+        reports how many trace records the recorder's ring buffer
+        evicted during the window (``trace_dropped_events``), so
+        flight-recorder truncation is visible instead of silent.
         """
         from repro.obs.profiling import SimProfiler
 
         profiler = SimProfiler()
+        dropped_before = tracer.dropped if tracer is not None else 0
         previous = self._profiler
         self._profiler = profiler
         try:
@@ -226,6 +231,10 @@ class Simulator:
         finally:
             self._profiler = previous
             profiler.finish()
+            if tracer is not None:
+                profiler.profile.trace_dropped_events = (
+                    tracer.dropped - dropped_before
+                )
 
     def register_metrics(self, registry: "MetricsRegistry") -> None:
         """Publish kernel health series on a metrics registry.

@@ -130,17 +130,27 @@ class TraceRecorder:
 
         return to_jsonl(self._records)
 
-    def to_chrome_trace(self) -> dict:
-        """The trace as a Chrome trace-event document (Perfetto-loadable)."""
+    def to_chrome_trace(self, spans=None) -> dict:
+        """The trace as a Chrome trace-event document (Perfetto-loadable).
+
+        Pass a :class:`~repro.obs.spans.SpanRecorder` to add span slices
+        and cross-span flow arrows on a dedicated process.
+        """
         from repro.obs.trace_export import to_chrome_trace
 
-        return to_chrome_trace(self._records)
+        return to_chrome_trace(self._records, spans=spans)
 
-    def to_chrome_trace_json(self) -> str:
+    def to_chrome_trace_json(self, spans=None) -> str:
         """The Chrome trace document as canonical, byte-stable JSON."""
         from repro.obs.trace_export import chrome_trace_json
 
-        return chrome_trace_json(self._records)
+        return chrome_trace_json(self._records, spans=spans)
+
+    def register_metrics(self, registry) -> None:
+        """Publish recorder health: the lazy ``trace.dropped_events``
+        counter (ring-buffer evictions) and ``trace.records`` gauge."""
+        registry.counter_fn("trace.dropped_events", lambda: self.dropped)
+        registry.gauge_fn("trace.records", lambda: len(self._records))
 
     def stats(self) -> dict[str, int]:
         """Recorder health: records held, capacity and drop count."""

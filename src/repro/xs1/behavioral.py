@@ -228,6 +228,24 @@ class BehavioralThread(HardwareThread):
         self.core.count_instruction(energy_class)
         return StepOutcome.ISSUED
 
+    def _note_receive(self, chanend: "Chanend") -> None:
+        """Record producer-span → this-span causality for a completed receive.
+
+        The chanend remembers the span of the last span-tagged token it
+        delivered; if both ends carry spans, one :class:`SpanMessage`
+        lands in the recorder (and the mark is consumed, so one message
+        is recorded per completed receive, not per token).
+        """
+        src = chanend.last_rx_span
+        if src is None:
+            return
+        chanend.last_rx_span = None
+        if self.span is None or self.span is src:
+            return
+        src.recorder.record_message(
+            src, self.span, src.last_send_ps, self.core.sim.now
+        )
+
     def _send_tokens(self, chanend: "Chanend", tokens: list) -> StepOutcome:
         if chanend.tx_space() < len(tokens):
             chanend.wait_tx_space(self, len(tokens))
@@ -249,6 +267,7 @@ class BehavioralThread(HardwareThread):
         for _ in range(TOKENS_PER_WORD):
             chanend.pop_rx()
         self._pending_result = tokens_to_word(tokens)
+        self._note_receive(chanend)
         self._complete()
         return self._count(EnergyClass.COMM)
 
@@ -261,6 +280,7 @@ class BehavioralThread(HardwareThread):
             raise TrapError(f"{self.name}: unexpected control token {token}")
         chanend.pop_rx()
         self._pending_result = token.value
+        self._note_receive(chanend)
         self._complete()
         return self._count(EnergyClass.COMM)
 
@@ -279,6 +299,7 @@ class BehavioralThread(HardwareThread):
             if token.is_end:
                 self._pending_result = self._packet_accum
                 self._packet_accum = []
+                self._note_receive(chanend)
                 self._complete()
                 return self._count(EnergyClass.COMM)
             self._packet_accum.append(token.value)

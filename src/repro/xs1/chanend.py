@@ -15,10 +15,11 @@ network (:mod:`repro.network.fabric`).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.network.header import ChanendAddress
-from repro.network.token import Token
+from repro.network.token import TOKEN_BITS, Token
 from repro.xs1.errors import ResourceError
 
 if TYPE_CHECKING:
@@ -51,6 +52,10 @@ class Chanend:
         #: Optional hook fired after each delivered token (used by the
         #: Ethernet bridge and other non-core endpoints).
         self.on_deliver = None
+        #: Causal span of the most recently delivered span-tagged token
+        #: (see :mod:`repro.obs.spans`); consumed by the receiving
+        #: thread to reconstruct producer → consumer messages.
+        self.last_rx_span = None
         #: XS1 event state (``setv``/``eeu``): vector = instruction index
         #: jumped to when the event fires; the owning thread is whichever
         #: enabled the event.
@@ -93,6 +98,7 @@ class Chanend:
         self.event_vector = None
         self.event_enabled = False
         self.event_thread = None
+        self.last_rx_span = None
 
     # -- transmit side (called by the executor) ----------------------------
 
@@ -101,11 +107,23 @@ class Chanend:
         return self.tx_capacity - len(self.tx)
 
     def push_tx(self, tokens: list[Token]) -> None:
-        """Enqueue tokens for transmission; caller must have checked space."""
+        """Enqueue tokens for transmission; caller must have checked space.
+
+        When the issuing thread carries a causal span, outgoing tokens
+        are stamped with it (so every downstream hop can charge the
+        span) and the span's payload-bit ledger grows.
+        """
         if self.dest is None:
             raise ResourceError(f"{self.address}: send before setd")
         if len(tokens) > self.tx_space():
             raise ResourceError(f"{self.address}: transmit buffer overflow")
+        # getattr: bridge shims pose as cores but run no threads.
+        thread = getattr(self.core, "current_thread", None)
+        if thread is not None and thread.span is not None:
+            span = thread.span
+            tokens = [replace(token, span=span) for token in tokens]
+            span.bits_sent += TOKEN_BITS * len(tokens)
+            span.last_send_ps = self.core.sim.now
         self.tx.extend(tokens)
         self.tokens_sent += len(tokens)
         self.core.fabric.notify_tx(self)
@@ -147,6 +165,8 @@ class Chanend:
             return False
         self.rx.append(token)
         self.tokens_received += 1
+        if token.span is not None:
+            self.last_rx_span = token.span
         if self._rx_waiter is not None and len(self.rx) >= self._rx_need:
             waiter, self._rx_waiter = self._rx_waiter, None
             waiter.resume()

@@ -97,6 +97,10 @@ class XCore:
         self._next_tid = 0
         self.on_halt_callbacks: list[Callable[[HardwareThread], None]] = []
         self.frequency_listeners: list[Callable[["XCore"], None]] = []
+        #: The thread currently holding the issue slot (set around each
+        #: ``step()``), so resources it touches — chanends, the
+        #: instruction counter — can attribute work to its causal span.
+        self.current_thread: HardwareThread | None = None
         #: True once the core has been killed by a fault injection; a
         #: failed core accepts no new threads and runs no further slots.
         self.failed = False
@@ -284,7 +288,11 @@ class XCore:
             self._rotation.rotate(-1)
             if thread.next_issue_cycle > cycle:
                 continue
-            outcome = thread.step()
+            self.current_thread = thread
+            try:
+                outcome = thread.step()
+            finally:
+                self.current_thread = None
             if outcome is not StepOutcome.PAUSED:  # issued or retired-and-halted
                 thread.next_issue_cycle = cycle + HardwareThread.PIPELINE_DEPTH
                 self.stats.slots_issued += 1
@@ -390,6 +398,9 @@ class XCore:
     def count_instruction(self, energy_class: EnergyClass) -> None:
         """Record one completed instruction for the energy model."""
         self.stats.instructions[energy_class] += 1
+        thread = self.current_thread
+        if thread is not None and thread.span is not None:
+            thread.span.count_instruction(self.node_id)
 
     def register_metrics(self, registry) -> None:
         """Publish this core's execution series (lazily collected).

@@ -64,6 +64,9 @@ class HardwareThread:
         self.waiting_for_event = False
         #: Resources whose events this thread has enabled (``eeu``).
         self.event_resources: list = []
+        #: Active causal span (:mod:`repro.obs.spans`); instructions this
+        #: thread issues and tokens it sends are charged to it.
+        self.span = None
 
     @property
     def runnable(self) -> bool:
@@ -100,6 +103,8 @@ class HardwareThread:
             return
         self.state = ThreadState.HALTED
         self.pause_reason = None
+        if self.span is not None:
+            self.span.finish(self.core.sim.now)
         self.core.on_thread_halted(self)
 
     def take_event(self, vector: int | None) -> None:

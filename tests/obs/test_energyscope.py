@@ -1,0 +1,109 @@
+"""Tests for per-span energy attribution (repro.obs.energyscope)."""
+
+from repro import Compute, RecvWord, SendWord, SwallowSystem
+from repro.obs import AttributionRow, attribute_energy
+
+
+def run_traced_workload():
+    system = SwallowSystem(slices_x=1)
+    recorder = system.spans()
+    root = recorder.span("app")
+    root.begin(0)
+    channel = system.channel(system.core(0), system.core(10))
+    received = []
+
+    def producer():
+        for i in range(4):
+            yield Compute(100)
+            yield SendWord(channel.a, i)
+
+    def consumer():
+        for _ in range(4):
+            received.append((yield RecvWord(channel.b)))
+            yield Compute(40)
+
+    system.spawn_task(system.core(0), producer(), name="tx",
+                      span=root.child("tx"))
+    system.spawn_task(system.core(10), consumer(), name="rx",
+                      span=root.child("rx"))
+    system.run()
+    root.finish(system.sim.now)
+    return system, recorder
+
+
+class TestAttribution:
+    def test_partition_sums_to_ledger(self):
+        system, recorder = run_traced_workload()
+        attribution = attribute_energy(system, recorder)
+        assert attribution.total_j > 0
+        assert abs(attribution.attributed_j() - attribution.total_j) <= 1e-9
+
+    def test_span_rows_carry_their_ledgers(self):
+        system, recorder = run_traced_workload()
+        attribution = system.energy_attribution()
+        by_path = {row.path: row for row in attribution.rows}
+        tx, rx = by_path["app;tx"], by_path["app;rx"]
+        assert tx.core_j > 0 and tx.link_j > 0
+        assert tx.bits_sent == 4 * 32
+        assert rx.core_j > 0 and rx.link_j == 0.0
+        # The idle 14 cores and the support rail land on synthetic rows.
+        assert sum(1 for p in by_path if p.startswith("<idle ")) == 14
+        assert by_path["<support>"].support_j > 0
+
+    def test_folded_stacks_sum_to_ledger(self):
+        system, recorder = run_traced_workload()
+        attribution = system.energy_attribution()
+        folded = attribution.folded()
+        total = 0.0
+        for line in folded.splitlines():
+            path, value = line.rsplit(" ", 1)
+            total += float(value)
+        assert abs(total - attribution.total_j) <= 1e-9
+        assert any(line.startswith("app;tx ") for line in folded.splitlines())
+
+    def test_folded_is_byte_stable(self):
+        outputs = set()
+        for _ in range(2):
+            system, recorder = run_traced_workload()
+            outputs.add(attribute_energy(system, recorder).folded())
+        assert len(outputs) == 1
+
+    def test_ec_rows_and_render(self):
+        system, recorder = run_traced_workload()
+        attribution = system.energy_attribution()
+        ec = dict(
+            (path, ratio)
+            for path, _, _, ratio in attribution.ec_rows()
+        )
+        assert ec["app;tx"] > 0 and ec["app;tx"] != float("inf")
+        assert ec["app;rx"] == float("inf")  # computed, never sent
+        text = attribution.render(top=4)
+        assert "energy attribution over" in text
+        assert "more rows" in text
+
+    def test_no_spans_means_pure_residuals(self):
+        system = SwallowSystem(slices_x=1)
+
+        def busy():
+            yield Compute(500)
+
+        system.spawn_task(system.core(0), busy())
+        system.run()
+        attribution = attribute_energy(system, recorder=None)
+        assert all(row.span_id is None for row in attribution.rows)
+        assert abs(attribution.attributed_j() - attribution.total_j) <= 1e-9
+
+
+class TestAttributionRow:
+    def test_ec_ratio_edge_cases(self):
+        def row(instructions, bits):
+            return AttributionRow(
+                path="x", name="x", span_id=1, node_id=0,
+                instructions=instructions, bits_sent=bits, retry_bits=0,
+                core_j=0.0, link_j=0.0, support_j=0.0,
+            )
+
+        assert row(10, 0).ec_ratio == float("inf")
+        assert row(0, 0).ec_ratio == 0.0
+        # 64 instructions x 32 bits each over 32 communicated bits.
+        assert row(64, 32).ec_ratio == 64.0

@@ -1,0 +1,164 @@
+"""Tests for causal spans (repro.obs.spans) and their machine plumbing."""
+
+import json
+
+from repro import Compute, NanoOS, RecvWord, SendWord, SwallowSystem
+from repro.obs import SpanRecorder, chrome_trace_json
+
+
+class TestSpanTree:
+    def test_sequential_ids_and_paths(self):
+        recorder = SpanRecorder()
+        root = recorder.span("root")
+        mid = root.child("mid")
+        leaf = mid.child("leaf")
+        assert [s.span_id for s in recorder.spans] == [1, 2, 3]
+        assert leaf.path == "root;mid;leaf"
+        assert leaf.parent_id == mid.span_id
+        assert recorder.roots() == [root]
+        assert recorder.find("leaf") is leaf
+
+    def test_begin_finish_first_call_wins(self):
+        span = SpanRecorder().span("s")
+        span.begin(100)
+        span.begin(999)
+        span.finish(200)
+        span.finish(999)
+        assert (span.start_ps, span.end_ps) == (100, 200)
+
+    def test_ledger_charging(self):
+        span = SpanRecorder().span("s")
+        span.count_instruction(3)
+        span.count_instruction(3)
+        span.count_instruction(7)
+        span.add_wire_bits("pcb", 8)
+        span.add_wire_bits("pcb", 8)
+        span.add_wire_bits("ffc", 8)
+        assert span.instructions == 3
+        assert span.instr_by_node == {3: 2, 7: 1}
+        assert span.wire_bits_by_class == {"pcb": 16, "ffc": 8}
+        assert span.wire_bits == 24
+        assert span.token_hops == 3
+
+    def test_jsonl_is_canonical_and_digest_stable(self):
+        def build():
+            recorder = SpanRecorder()
+            root = recorder.span("root", node_id=0)
+            root.begin(0)
+            child = root.child("child", node_id=5)
+            child.count_instruction(5)
+            recorder.record_message(root, child, 10, 20)
+            return recorder
+
+        a, b = build(), build()
+        assert a.to_jsonl() == b.to_jsonl()
+        assert a.digest() == b.digest()
+        lines = [json.loads(line) for line in a.to_jsonl().splitlines()]
+        assert [row["type"] for row in lines] == ["span", "span", "message"]
+
+    def test_render_tree(self):
+        recorder = SpanRecorder()
+        root = recorder.span("root")
+        root.begin(0)
+        root.child("kid")
+        text = recorder.render()
+        assert "#1 root" in text and "  #2 kid" in text
+
+
+def run_pipeline(system):
+    """Producer -> consumer across cores under one root span."""
+    recorder = system.spans()
+    root = recorder.span("app")
+    root.begin(0)
+    channel = system.channel(system.core(0), system.core(10))
+    received = []
+
+    def producer():
+        for i in range(4):
+            yield Compute(50)
+            yield SendWord(channel.a, i)
+
+    def consumer():
+        for _ in range(4):
+            received.append((yield RecvWord(channel.b)))
+
+    system.spawn_task(system.core(0), producer(), name="tx",
+                      span=root.child("tx"))
+    system.spawn_task(system.core(10), consumer(), name="rx",
+                      span=root.child("rx"))
+    system.run()
+    root.finish(system.sim.now)
+    assert received == [0, 1, 2, 3]
+    return recorder, root
+
+
+class TestSpanPlumbing:
+    def test_tokens_carry_spans_end_to_end(self):
+        system = SwallowSystem(slices_x=1)
+        recorder, root = run_pipeline(system)
+        tx, rx = recorder.find("tx"), recorder.find("rx")
+        # The producer issued instructions and pushed payload bits; every
+        # hop of the route charged wire bits to it.
+        assert tx.instructions > 0
+        assert tx.instr_by_node == {0: tx.instructions}
+        assert tx.bits_sent == 4 * 32
+        assert tx.wire_bits >= tx.bits_sent
+        assert tx.token_hops > 0
+        # The consumer only computed.
+        assert rx.bits_sent == 0
+        # Both closed when their threads halted.
+        assert tx.end_ps is not None and rx.end_ps is not None
+
+    def test_cross_span_messages_recorded(self):
+        system = SwallowSystem(slices_x=1)
+        recorder, _ = run_pipeline(system)
+        tx, rx = recorder.find("tx"), recorder.find("rx")
+        assert len(recorder.messages) == 4
+        for msg in recorder.messages:
+            assert msg.src_id == tx.span_id
+            assert msg.dst_id == rx.span_id
+            assert 0 <= msg.send_ps <= msg.recv_ps
+
+    def test_chrome_trace_flow_events(self):
+        system = SwallowSystem(slices_x=1)
+        recorder, _ = run_pipeline(system)
+        document = json.loads(chrome_trace_json([], spans=recorder))
+        events = document["traceEvents"]
+        slices = [e for e in events if e.get("ph") == "X"]
+        starts = [e for e in events if e.get("ph") == "s"]
+        finishes = [e for e in events if e.get("ph") == "f"]
+        assert len(slices) == len(recorder.spans)
+        assert len(starts) == len(finishes) == len(recorder.messages)
+        # Flow arrows pair up by id and run from tx's track to rx's.
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+        tids = {e["tid"] for e in starts} | {e["tid"] for e in finishes}
+        assert len(tids) == 2
+
+    def test_identical_runs_are_byte_identical(self):
+        digests = set()
+        for _ in range(2):
+            system = SwallowSystem(slices_x=1)
+            recorder, _ = run_pipeline(system)
+            digests.add(recorder.digest())
+        assert len(digests) == 1
+
+
+class TestNanoOsSpans:
+    def test_submitted_tasks_get_spans(self):
+        system = SwallowSystem(slices_x=1)
+        runtime = NanoOS(system, spans=True)
+
+        def make_task(core):
+            def body():
+                yield Compute(200)
+            return body()
+
+        handle = runtime.submit(make_task, name="worker")
+        system.run()
+        assert runtime.all_done
+        span = handle.span
+        assert span is not None
+        assert span.path == "nos;worker"
+        assert span.instructions > 0
+        assert span.end_ps is not None
+        assert span.node_id == handle.core.node_id

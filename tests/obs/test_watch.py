@@ -1,0 +1,133 @@
+"""Tests for live power watchpoints (repro.obs.watch)."""
+
+import pytest
+
+from repro import Compute, Frequency, PowerWatchpoint, SwallowSystem
+from repro.energy.measurement import SamplingRateError
+
+
+def busy_system(instructions=30_000):
+    """One slice with the four rail-0 cores running flat out."""
+    system = SwallowSystem(slices_x=1)
+    for index in range(4):
+        def body():
+            yield Compute(instructions)
+        system.spawn_task(system.core(index), body())
+    return system
+
+
+class TestValidation:
+    def test_single_channel_rate_cap(self):
+        board = SwallowSystem(slices_x=1).measurement_board()
+        with pytest.raises(SamplingRateError):
+            PowerWatchpoint(board, channel=0, rate_hz=2_000_001.0,
+                            above_mw=1.0)
+        # 2 MS/s is legal on a single channel...
+        PowerWatchpoint(board, channel=0, rate_hz=2_000_000.0, above_mw=1.0)
+        # ...but not when watching all channels (1 MS/s cap).
+        with pytest.raises(SamplingRateError):
+            PowerWatchpoint(board, channel=None, rate_hz=2_000_000.0,
+                            above_mw=1.0)
+
+    def test_needs_a_rule(self):
+        board = SwallowSystem(slices_x=1).measurement_board()
+        with pytest.raises(ValueError):
+            PowerWatchpoint(board, channel=0)
+
+    def test_cannot_arm_twice(self):
+        board = SwallowSystem(slices_x=1).measurement_board()
+        watch = PowerWatchpoint(board, channel=0, above_mw=1.0)
+        watch.arm(duration_s=1e-6)
+        with pytest.raises(RuntimeError):
+            watch.arm(duration_s=1e-6)
+
+
+class TestFiring:
+    def test_above_threshold_fires(self):
+        system = busy_system()
+        watch = PowerWatchpoint(
+            system.measurement_board(), channel=0, rate_hz=1_000_000.0,
+            window_samples=4, above_mw=500.0,
+        ).arm(duration_s=30e-6)
+        system.run()
+        assert watch.firings
+        event = watch.firings[0]
+        assert event.rule == "above"
+        assert event.window_mean_mw > 500.0
+        assert "above threshold" in event.describe()
+
+    def test_below_threshold_fires_when_idle(self):
+        system = SwallowSystem(slices_x=1)
+        watch = PowerWatchpoint(
+            system.measurement_board(), channel=0, rate_hz=1_000_000.0,
+            window_samples=4, below_mw=460.0,
+        ).arm(duration_s=10e-6)
+        system.run()
+        assert watch.firings and watch.firings[0].rule == "below"
+
+    def test_budget_fires_exactly_once(self):
+        system = busy_system()
+        watch = PowerWatchpoint(
+            system.measurement_board(), channel=0, rate_hz=1_000_000.0,
+            window_samples=4, budget_j=1e-6,
+        ).arm(duration_s=30e-6)
+        system.run()
+        budget_firings = [e for e in watch.firings if e.rule == "budget"]
+        assert len(budget_firings) == 1
+        assert watch.energy_j > 1e-6
+        assert "budget exceeded" in budget_firings[0].describe()
+
+    def test_cooldown_spaces_firings(self):
+        system = busy_system(instructions=60_000)
+        watch = PowerWatchpoint(
+            system.measurement_board(), channel=0, rate_hz=1_000_000.0,
+            window_samples=4, above_mw=500.0, cooldown_windows=2,
+        ).arm(duration_s=60e-6)
+        system.run()
+        # A sustained overload fires every (1 + cooldown) windows, not
+        # every window.
+        assert len(watch.firings) >= 2
+        windows = watch.samples_taken // 4
+        assert len(watch.firings) <= windows // 3 + 1
+
+    def test_on_fire_callback_can_adapt(self):
+        system = busy_system()
+        cores = [system.core(i) for i in range(4)]
+
+        def step_down(watch, event):
+            if cores[0].frequency.megahertz > 250:
+                system.set_frequency(Frequency.mhz(250), cores=cores)
+
+        watch = PowerWatchpoint(
+            system.measurement_board(), channel=0, rate_hz=1_000_000.0,
+            window_samples=4, above_mw=500.0, on_fire=step_down,
+        ).arm(duration_s=100e-6)
+        system.run()
+        assert watch.firings
+        assert cores[0].frequency.megahertz == 250
+
+    def test_disarm_stops_sampling(self):
+        system = busy_system()
+        watch = PowerWatchpoint(
+            system.measurement_board(), channel=0, rate_hz=1_000_000.0,
+            window_samples=4, above_mw=500.0,
+            on_fire=lambda w, e: w.disarm(),
+        ).arm(duration_s=100e-6)
+        system.run()
+        assert not watch.armed
+        assert len(watch.firings) == 1
+        assert watch.samples_taken < 100
+
+    def test_firings_are_deterministic(self):
+        histories = set()
+        for _ in range(2):
+            system = busy_system()
+            watch = PowerWatchpoint(
+                system.measurement_board(), channel=0, rate_hz=1_000_000.0,
+                window_samples=4, above_mw=500.0, budget_j=5e-6,
+            ).arm(duration_s=30e-6)
+            system.run()
+            histories.add(tuple(
+                (e.time_ps, e.rule, e.window_mean_mw) for e in watch.firings
+            ))
+        assert len(histories) == 1

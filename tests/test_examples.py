@@ -22,10 +22,17 @@ class TestExamples:
         assert "[0, 1, 4, 9]" in out
         assert "Energy report" in out
 
-    def test_energy_aware_pipeline(self, capsys):
-        out = run_example("energy_aware_pipeline", capsys)
+    def test_placement_ladder(self, capsys):
+        out = run_example("placement_ladder", capsys)
         for placement in ("same-core", "same-package", "same-slice", "cross-slice"):
             assert placement in out
+
+    def test_energy_aware_pipeline(self, capsys):
+        out = run_example("energy_aware_pipeline", capsys)
+        assert "watchpoint fired" in out
+        assert "stepping cores 0-3 down to 250 MHz" in out
+        assert "cross-core flow arrows" in out
+        assert "byte-identical: True" in out
 
     def test_self_measuring_governor(self, capsys):
         out = run_example("self_measuring_governor", capsys)
