@@ -15,7 +15,14 @@ Commands:
 * ``faults`` — run a reliable word stream under a fault campaign
   (default: a flaky link on the stream's route; ``--spec FILE`` for a
   JSON campaign) and print the campaign report (``--metrics-out`` dumps
-  the final metrics snapshot as JSON);
+  the final metrics snapshot as JSON); ``--checkpoint-every N`` captures
+  checkpoint bundles as it runs and ``--kill-after-events N`` simulates
+  a crash (exit code 75) that ``resume`` can continue from;
+* ``checkpoint`` — run a registered workload partway and write a
+  versioned, checksummed checkpoint bundle;
+* ``resume`` — rebuild a run from a bundle (or the newest bundle in a
+  ``--dir`` store), replay and verify it, and drive it to completion —
+  byte-identically to a run that was never interrupted;
 * ``spans`` — run a span-instrumented three-stage pipeline and export
   the causal span tree (span JSONL, or a Chrome trace with cross-core
   flow arrows);
@@ -215,65 +222,139 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_faults(args: argparse.Namespace) -> int:
-    from repro import SwallowSystem
-    from repro.apps.reliable import ReliableChannel
-    from repro.faults import FaultCampaign, FlakyLink
-    from repro.network.routing import Layer
+#: Exit code of a run interrupted by ``--kill-after-events`` (EX_TEMPFAIL:
+#: the run is resumable from its checkpoint store, not failed).
+EXIT_KILLED = 75
 
-    system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
-    topology = system.topology
-    node_a = topology.node_at(0, 0, Layer.VERTICAL)
-    node_b = topology.node_at(0, 1, Layer.VERTICAL)
-    cores = {core.node_id: core for core in system.cores}
-    channel = ReliableChannel.between(cores[node_a], cores[node_b])
-    received: list[int] = []
 
-    def producer():
-        for i in range(args.words):
-            yield from channel.send(i * 7 + 1)
-
-    def consumer():
-        for _ in range(args.words):
-            received.append((yield from channel.recv()))
-        yield from channel.drain()
-
-    system.spawn_task(cores[node_a], producer(), name="faults.tx")
-    system.spawn_task(cores[node_b], consumer(), name="faults.rx")
-
+def _stream_params(args: argparse.Namespace) -> dict:
+    """The ``faults_stream`` workload params encoded by the CLI flags."""
+    params: dict = {
+        "slices_x": args.slices_x,
+        "slices_y": args.slices_y,
+        "words": args.words,
+        "drop_rate": args.drop_rate,
+    }
+    if args.seed is not None:
+        params["seed"] = args.seed
     if args.spec:
         with open(args.spec) as handle:
-            campaign = FaultCampaign.from_spec(system, json.load(handle))
-        campaign.seed = args.seed if args.seed is not None else campaign.seed
-        campaign.rng.seed(campaign.seed)
-    else:
-        campaign = FaultCampaign(
-            system,
-            [FlakyLink(at_us=0.0, node_a=node_a, node_b=node_b,
-                       drop_rate=args.drop_rate)],
-            seed=args.seed if args.seed is not None else 0,
+            spec = json.load(handle)
+        params["faults"] = spec.get("faults", [])
+        params["heal"] = spec.get("heal", True)
+        if args.seed is None and "seed" in spec:
+            params["seed"] = spec["seed"]
+    return params
+
+
+def _checkpoint_run(args: argparse.Namespace, workload: str, params: dict):
+    """Build a :class:`ResumableRun` from the shared checkpoint flags."""
+    from repro.checkpoint import CheckpointPolicy, CheckpointStore, ResumableRun
+
+    policy = None
+    if args.checkpoint_every is not None:
+        policy = CheckpointPolicy(
+            every_events=args.checkpoint_every, retain=args.retain
         )
-    campaign.register_channel("stream", channel)
-    campaign.register_metrics(system.metrics)
-    campaign.arm()
-    system.run()
-    report = campaign.report()
+    store = None
+    if args.checkpoint_dir:
+        store = CheckpointStore(args.checkpoint_dir, retain=args.retain)
+    return ResumableRun(workload, params, policy=policy, store=store)
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    params = _stream_params(args)
+    run = _checkpoint_run(args, "faults_stream", params)
+    recovery = run.run(kill_after_events=args.kill_after_events)
+    context = run.context
+    report = context.campaign.report()
     if args.metrics_out:
-        snapshot = system.metrics_snapshot()
+        snapshot = context.system.metrics_snapshot()
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(snapshot.as_dict(), sort_keys=True))
         print(f"wrote metrics snapshot to {args.metrics_out}")
-    expected = [i * 7 + 1 for i in range(args.words)]
+    delivered_ok = context.received == context.expected
     if args.json:
-        print(json.dumps(
-            {"delivered_ok": received == expected, "report": report.to_dict()},
-            sort_keys=True,
-        ))
-        return 0 if received == expected else 1
-    print(report.render())
-    print(f"stream: {len(received)}/{args.words} words delivered, "
-          f"{'intact' if received == expected else 'CORRUPTED'}")
-    return 0 if received == expected else 1
+        document = {"delivered_ok": delivered_ok, "report": report.to_dict()}
+        if args.checkpoint_every is not None or run.killed:
+            document["recovery"] = recovery.to_dict()
+        print(json.dumps(document, sort_keys=True))
+    else:
+        print(report.render())
+        print(f"stream: {len(context.received)}/{args.words} words "
+              f"delivered, {'intact' if delivered_ok else 'CORRUPTED'}")
+        if run.killed:
+            print(f"killed after {args.kill_after_events} events; resume "
+                  f"with: python -m repro resume --dir {args.checkpoint_dir}")
+    if run.killed:
+        return EXIT_KILLED
+    return 0 if delivered_ok else 1
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Run a registered workload partway and write a checkpoint bundle."""
+    from repro.checkpoint import build_workload
+
+    params = json.loads(args.params) if args.params else {}
+    context = build_workload(args.workload, params)
+    sim = context.system.sim
+    if args.after_events is not None:
+        sim.run(max_events=args.after_events)
+    else:
+        sim.run()
+    snapshot = context.capture(
+        setup={"workload": args.workload, "params": params}
+    )
+    snapshot.save(args.out)
+    print(f"wrote checkpoint bundle to {args.out}")
+    print(f"  workload          {args.workload}")
+    print(f"  schema            {snapshot.schema}")
+    print(f"  events processed  {snapshot.events_processed}")
+    print(f"  sim time          {snapshot.time_ps / 1e6:.3f} us")
+    print(f"  digest            {snapshot.digest}")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Resume a checkpointed run and drive it to completion."""
+    from repro.checkpoint import (
+        CheckpointPolicy,
+        CheckpointStore,
+        ResumableRun,
+        Snapshot,
+    )
+
+    if args.bundle:
+        snapshot = Snapshot.load(args.bundle)
+        origin = args.bundle
+    elif args.dir:
+        store = CheckpointStore(args.dir, retain=args.retain)
+        snapshot = store.latest()
+        origin = str(store.paths()[-1])
+    else:
+        print("resume: need a bundle path or --dir", file=sys.stderr)
+        return 2
+    policy = None
+    if args.checkpoint_every is not None:
+        policy = CheckpointPolicy(
+            every_events=args.checkpoint_every, retain=args.retain
+        )
+    run = ResumableRun.resume(snapshot, policy=policy)
+    recovery = run.run()
+    document = run.final_report()
+    document["recovery"] = recovery.to_dict()
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document, sort_keys=True))
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+        return 0
+    print(f"resumed from {origin} "
+          f"(@ {snapshot.events_processed} events, verified)")
+    print(recovery.render())
+    if args.report_out:
+        print(f"wrote final report to {args.report_out}")
+    return 0
 
 
 def _span_workload(system, seed: int | None = None):
@@ -447,7 +528,49 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit the campaign report as JSON")
     faults.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="dump the final metrics snapshot as JSON")
+    faults.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                        metavar="N",
+                        help="capture a checkpoint bundle every N kernel events")
+    faults.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="persist checkpoint bundles to this directory")
+    faults.add_argument("--retain", type=_positive_int, default=3,
+                        help="checkpoints kept in the retained set")
+    faults.add_argument("--kill-after-events", type=_positive_int,
+                        default=None, metavar="N",
+                        help="simulate a crash after N events "
+                             f"(exit code {EXIT_KILLED}; resume later)")
     faults.set_defaults(func=cmd_faults)
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="run a workload partway and write a checkpoint bundle",
+    )
+    checkpoint.add_argument("--workload", default="faults_stream",
+                            help="registered workload name "
+                                 "(see repro.checkpoint.WORKLOADS)")
+    checkpoint.add_argument("--params", default=None, metavar="JSON",
+                            help="workload params as a JSON object")
+    checkpoint.add_argument("--after-events", type=_positive_int, default=None,
+                            help="capture after N events (default: at the end)")
+    checkpoint.add_argument("--out", default="checkpoint.json",
+                            help="bundle output path")
+    checkpoint.set_defaults(func=cmd_checkpoint)
+    resume = subparsers.add_parser(
+        "resume", help="resume a checkpointed run and drive it to completion"
+    )
+    resume.add_argument("bundle", nargs="?", default=None,
+                        help="checkpoint bundle path")
+    resume.add_argument("--dir", default=None, metavar="DIR",
+                        help="resume from the newest bundle in this store")
+    resume.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                        metavar="N",
+                        help="keep checkpointing every N events after resume")
+    resume.add_argument("--retain", type=_positive_int, default=3,
+                        help="checkpoints kept in the retained set")
+    resume.add_argument("--report-out", default=None, metavar="PATH",
+                        help="write the final report (with recovery) as JSON")
+    resume.add_argument("--json", action="store_true",
+                        help="emit the final report as JSON on stdout")
+    resume.set_defaults(func=cmd_resume)
     spans = subparsers.add_parser(
         "spans", help="run a span-traced pipeline; export the span tree"
     )

@@ -29,6 +29,7 @@ from repro.apps.reliable import (
     ReliableChannel,
     ReliableChannelError,
     ReliableStats,
+    RetryExhaustedError,
     frame_checksum,
 )
 
@@ -39,6 +40,7 @@ __all__ = [
     "ReliableChannel",
     "ReliableChannelError",
     "ReliableStats",
+    "RetryExhaustedError",
     "frame_checksum",
     "bubble_sort",
     "build_bsp",

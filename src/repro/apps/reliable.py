@@ -46,7 +46,22 @@ ACK_MAGIC = 0xA5C3_9D1E
 
 
 class ReliableChannelError(RuntimeError):
-    """A transfer exhausted its retry budget."""
+    """A reliable transfer failed permanently."""
+
+
+class RetryExhaustedError(ReliableChannelError):
+    """A frame's retry budget ran out without an acknowledgement.
+
+    Raised instead of stalling silently: even on a permanently severed
+    route (where plain sends would block forever) the sender's
+    per-operation send deadlines keep the retry loop turning until the
+    budget is spent, and the failure surfaces as this typed error.
+    """
+
+    def __init__(self, seq: int, attempts: int):
+        super().__init__(f"frame {seq}: no ack after {attempts} attempts")
+        self.seq = seq
+        self.attempts = attempts
 
 
 def frame_checksum(seq: int, value: int) -> int:
@@ -78,6 +93,9 @@ class ReliableStats:
     checksum_failures: int = 0
     duplicates: int = 0
     recv_timeouts: int = 0
+    #: Sends abandoned because the transmit buffer never drained within
+    #: the send deadline (a severed route ahead).
+    send_timeouts: int = 0
     #: Estimated wire bits of retransmitted data frames (for energy
     #: attribution; the first transmission of each frame is not a retry).
     retry_bits: int = 0
@@ -95,6 +113,7 @@ class ReliableStats:
             "checksum_failures": self.checksum_failures,
             "duplicates": self.duplicates,
             "recv_timeouts": self.recv_timeouts,
+            "send_timeouts": self.send_timeouts,
             "retry_bits": self.retry_bits,
         }
 
@@ -125,9 +144,19 @@ class ReliableChannel:
     #: (END tokens always arrive on merely *flaky* links — only a severed
     #: route can strand the receiver, and retransmission resolves that).
     recv_timeout_cycles: int | None = None
+    #: Documented ceiling of the exponential retransmission backoff,
+    #: in core cycles; also the per-operation send deadline, so a
+    #: permanently severed route turns into counted retries and
+    #: eventually :class:`RetryExhaustedError` instead of a silent
+    #: stall.  ``0`` (the default) means 16x ``ack_timeout_cycles``.
+    max_backoff_cycles: int = 0
     stats: ReliableStats = field(default_factory=ReliableStats)
     _tx_seq: int = 0
     _rx_seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_backoff_cycles <= 0:
+            self.max_backoff_cycles = 16 * self.ack_timeout_cycles
 
     @classmethod
     def between(cls, core_a: XCore, core_b: XCore, **kwargs) -> "ReliableChannel":
@@ -166,11 +195,28 @@ class ReliableChannel:
                     thread.span.retry_bits += FRAME_WIRE_TOKENS * TOKEN_BITS
             attempts += 1
             self.stats.frames_sent += 1
-            yield SendWord(self.tx, seq & 0xFFFF_FFFF)
-            yield SendWord(self.tx, value)
-            yield SendWord(self.tx, check)
-            yield SendCt(self.tx, CT_END)
-            ack = yield RecvPacket(self.tx, timeout_cycles=self.ack_timeout_cycles)
+            # Every operation carries a send deadline: on a severed
+            # route the transmit buffer never drains and an undeadlined
+            # send would park the thread forever with the retry counter
+            # frozen mid-loop.
+            sent = True
+            for word in (seq & 0xFFFF_FFFF, value, check):
+                if not (yield SendWord(
+                    self.tx, word, timeout_cycles=self.max_backoff_cycles
+                )):
+                    sent = False
+                    break
+            if sent:
+                sent = yield SendCt(
+                    self.tx, CT_END, timeout_cycles=self.max_backoff_cycles
+                )
+            if sent:
+                ack = yield RecvPacket(
+                    self.tx, timeout_cycles=self.ack_timeout_cycles
+                )
+            else:
+                self.stats.send_timeouts += 1
+                ack = None
             if (
                 ack is not None
                 and len(ack) == TOKENS_PER_WORD
@@ -178,16 +224,16 @@ class ReliableChannel:
             ):
                 self.stats.acked += 1
                 return
-            if ack is None:
+            if not sent:
+                pass                              # already counted above
+            elif ack is None:
                 self.stats.ack_timeouts += 1
             else:
                 self.stats.bad_acks += 1
             if attempts > self.max_retries:
-                raise ReliableChannelError(
-                    f"frame {seq}: no ack after {attempts} attempts"
-                )
+                raise RetryExhaustedError(seq, attempts)
             yield Sleep(backoff)
-            backoff = min(backoff * 2, 16 * self.ack_timeout_cycles)
+            backoff = min(backoff * 2, self.max_backoff_cycles)
 
     # -- receiver side ------------------------------------------------------
 
@@ -205,6 +251,19 @@ class ReliableChannel:
             return None
         return seq, value
 
+    def _send_ack(self, seq: int):
+        """Acknowledge ``seq`` with send deadlines (never stalls)."""
+        sent = yield SendWord(
+            self.rx, (ACK_MAGIC ^ seq) & 0xFFFF_FFFF,
+            timeout_cycles=self.max_backoff_cycles,
+        )
+        if sent:
+            yield SendCt(
+                self.rx, CT_END, timeout_cycles=self.max_backoff_cycles
+            )
+        else:
+            self.stats.send_timeouts += 1
+
     def recv(self):
         """Receive the next in-order word (generator; ``yield from``)."""
         while True:
@@ -219,9 +278,11 @@ class ReliableChannel:
                 continue
             seq, value = frame
             # Ack every valid frame — a duplicate means our earlier ack
-            # was lost or arrived after the sender's deadline.
-            yield SendWord(self.rx, (ACK_MAGIC ^ seq) & 0xFFFF_FFFF)
-            yield SendCt(self.rx, CT_END)
+            # was lost or arrived after the sender's deadline.  Ack
+            # sends carry deadlines too: a severed ack direction must
+            # not strand the receiver (the sender retries, and a later
+            # ack can still get through).
+            yield from self._send_ack(seq)
             if seq != self._rx_seq:
                 self.stats.duplicates += 1
                 continue
@@ -248,8 +309,7 @@ class ReliableChannel:
             if frame is None:
                 continue
             seq, _value = frame
-            yield SendWord(self.rx, (ACK_MAGIC ^ seq) & 0xFFFF_FFFF)
-            yield SendCt(self.rx, CT_END)
+            yield from self._send_ack(seq)
             self.stats.duplicates += 1
 
     # -- accounting ---------------------------------------------------------

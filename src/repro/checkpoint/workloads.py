@@ -1,0 +1,285 @@
+"""Rebuildable workloads: named builders shared by CLI, tests and resume.
+
+Restore works by re-running the workload from scratch (see
+:mod:`repro.checkpoint.snapshot`), which is only possible when the
+workload can be rebuilt from plain data.  This registry maps a workload
+*name* plus a JSON-able *params* dict to a fully wired
+:class:`RunContext`; a checkpoint bundle records ``{"workload": name,
+"params": params}`` as its setup, and resume rebuilds bit-identically
+from that record alone.
+
+Builders must be deterministic: the same params always produce the
+same event trajectory.  Anything random must flow through a recorded
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.checkpoint.snapshot import CheckpointError, Snapshot, content_digest
+
+
+@dataclass
+class RunContext:
+    """Everything a resumable run needs to drive and snapshot a workload."""
+
+    system: object
+    campaign: object | None = None
+    nos: object | None = None
+    watchdog: object | None = None
+    #: Words actually delivered to the workload's sink, in order.
+    received: list = field(default_factory=list)
+    #: What ``received`` must equal for a fully successful run.
+    expected: list = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def capture(self, setup: dict | None = None) -> Snapshot:
+        """Snapshot every layer of this context."""
+        return Snapshot.capture(
+            self.system,
+            campaign=self.campaign,
+            nos=self.nos,
+            watchdog=self.watchdog,
+            setup=setup,
+        )
+
+    def verify(self, snapshot: Snapshot) -> None:
+        """Check this (replayed) context against ``snapshot``."""
+        snapshot.verify(
+            self.system,
+            campaign=self.campaign,
+            nos=self.nos,
+            watchdog=self.watchdog,
+        )
+
+    def final_report(self) -> dict:
+        """Canonical end-of-run document for byte-identity comparison.
+
+        Fixed internal order (campaign report, then energy report, then
+        metrics snapshot, then whole-state digest) because the energy
+        queries close integration windows — any two runs that execute
+        the same trajectory and then build this report produce the same
+        bytes.
+        """
+        report: dict = {}
+        if self.campaign is not None:
+            report["campaign"] = self.campaign.report().to_dict()
+        report["energy"] = self.system.energy_report().to_dict()
+        report["metrics"] = self.system.metrics_snapshot().as_dict()
+        report["received"] = list(self.received)
+        report["delivered_ok"] = (
+            self.received == self.expected if self.expected else None
+        )
+        if self.watchdog is not None:
+            report["watchdog"] = self.watchdog.snapshot_state()
+        report["state_digest"] = content_digest(self.system.snapshot_state())
+        return report
+
+
+#: name -> builder(params) -> RunContext
+WORKLOADS: dict[str, Callable[[dict], RunContext]] = {}
+
+
+def register_workload(name: str):
+    """Decorator: register a workload builder under ``name``."""
+
+    def register(builder: Callable[[dict], RunContext]):
+        if name in WORKLOADS:
+            raise ValueError(f"workload {name!r} already registered")
+        WORKLOADS[name] = builder
+        return builder
+
+    return register
+
+
+def build_workload(name: str, params: dict | None = None) -> RunContext:
+    """Build a registered workload from plain data."""
+    builder = WORKLOADS.get(name)
+    if builder is None:
+        known = ", ".join(sorted(WORKLOADS)) or "(none)"
+        raise CheckpointError(f"unknown workload {name!r}; known: {known}")
+    return builder(dict(params or {}))
+
+
+# ---------------------------------------------------------------------------
+# Built-in workloads
+# ---------------------------------------------------------------------------
+
+
+def _stream_route(system):
+    """The canonical one-hop stream route used by the fault workloads."""
+    from repro.network.routing import Layer
+
+    topology = system.topology
+    node_a = topology.node_at(0, 0, Layer.VERTICAL)
+    node_b = topology.node_at(0, 1, Layer.VERTICAL)
+    cores = {core.node_id: core for core in system.cores}
+    return node_a, node_b, cores
+
+
+@register_workload("demo")
+def _demo(params: dict) -> RunContext:
+    """The quickstart workload (producer/consumer + a spin loop)."""
+    from repro.__main__ import _demo_workload
+    from repro.core.platform import SwallowSystem
+
+    system = SwallowSystem(
+        slices_x=int(params.get("slices_x", 1)),
+        slices_y=int(params.get("slices_y", 1)),
+    )
+    received = _demo_workload(system, seed=params.get("seed"))
+    return RunContext(system=system, received=received)
+
+
+@register_workload("faults_stream")
+def _faults_stream(params: dict) -> RunContext:
+    """A reliable word stream under a seeded fault campaign.
+
+    The exact workload of ``python -m repro faults``: a producer
+    streams ``words`` values over a :class:`ReliableChannel` crossing
+    one vertical link, while the campaign injects the given ``faults``
+    (default: one flaky link on the stream's route from t=0).
+    """
+    from repro.apps.reliable import ReliableChannel
+    from repro.core.platform import SwallowSystem
+    from repro.faults.campaign import FaultCampaign
+
+    words = int(params.get("words", 16))
+    system = SwallowSystem(
+        slices_x=int(params.get("slices_x", 1)),
+        slices_y=int(params.get("slices_y", 1)),
+    )
+    node_a, node_b, cores = _stream_route(system)
+    channel = ReliableChannel.between(cores[node_a], cores[node_b])
+    received: list[int] = []
+
+    def producer():
+        for i in range(words):
+            yield from channel.send(i * 7 + 1)
+
+    def consumer():
+        for _ in range(words):
+            received.append((yield from channel.recv()))
+        yield from channel.drain()
+
+    system.spawn_task(cores[node_a], producer(), name="faults.tx")
+    system.spawn_task(cores[node_b], consumer(), name="faults.rx")
+
+    faults = params.get("faults")
+    if faults is None:
+        faults = [{
+            "kind": "flaky_link",
+            "at_us": 0.0,
+            "node_a": node_a,
+            "node_b": node_b,
+            "drop_rate": float(params.get("drop_rate", 0.05)),
+        }]
+    campaign = FaultCampaign.from_spec(system, {
+        "seed": int(params.get("seed", 0)),
+        "faults": faults,
+        "heal": bool(params.get("heal", True)),
+    })
+    campaign.masked.update(int(i) for i in params.get("masked", ()))
+    campaign.register_channel("stream", channel)
+    campaign.register_metrics(system.metrics)
+    campaign.arm()
+    return RunContext(
+        system=system,
+        campaign=campaign,
+        received=received,
+        expected=[i * 7 + 1 for i in range(words)],
+    )
+
+
+@register_workload("watchdog_stream")
+def _watchdog_stream(params: dict) -> RunContext:
+    """The fault stream under NanoOS placement and watchdog supervision.
+
+    Producer and consumer are NanoOS tasks pinned to the stream's
+    endpoint cores; the watchdog supervises end-to-end delivery
+    (``channel.stats.delivered`` as the progress probe).  With a
+    permanent 100 %-drop flaky link injected mid-run, delivery
+    livelocks: the sender retries forever, the watchdog fires, the
+    replace rung cannot help (the fault is on the wire, not the core),
+    and the rollback rung recovers the run — the recovery-ladder
+    demonstration workload.
+    """
+    from repro.apps.reliable import ReliableChannel
+    from repro.core.nos import NanoOS
+    from repro.core.platform import SwallowSystem
+    from repro.core.watchdog import Watchdog
+    from repro.faults.campaign import FaultCampaign
+
+    words = int(params.get("words", 24))
+    system = SwallowSystem(
+        slices_x=int(params.get("slices_x", 1)),
+        slices_y=int(params.get("slices_y", 1)),
+    )
+    node_a, node_b, cores = _stream_route(system)
+    channel = ReliableChannel.between(
+        cores[node_a], cores[node_b],
+        max_retries=int(params.get("max_retries", 1_000_000)),
+    )
+    received: list[int] = []
+
+    def producer_factory(core):
+        def body():
+            for i in range(words):
+                yield from channel.send(i * 7 + 1)
+        return body()
+
+    def consumer_factory(core):
+        def body():
+            for _ in range(words):
+                received.append((yield from channel.recv()))
+            yield from channel.drain()
+        return body()
+
+    nos = NanoOS(system)
+    nos.submit(producer_factory, pin=cores[node_a], name="wd.tx")
+    consumer = nos.submit(consumer_factory, pin=cores[node_b], name="wd.rx")
+
+    faults = params.get("faults")
+    if faults is None:
+        faults = [{
+            "kind": "flaky_link",
+            "at_us": float(params.get("fault_at_us", 20.0)),
+            "node_a": node_a,
+            "node_b": node_b,
+            "drop_rate": 1.0,
+        }]
+    campaign = FaultCampaign.from_spec(system, {
+        "seed": int(params.get("seed", 0)),
+        "faults": faults,
+        "heal": bool(params.get("heal", True)),
+    }, nos=nos)
+    campaign.masked.update(int(i) for i in params.get("masked", ()))
+    campaign.register_channel("stream", channel)
+    campaign.register_metrics(system.metrics)
+    campaign.arm()
+
+    watchdog = Watchdog(
+        system, nos=nos,
+        check_every_us=float(params.get("check_every_us", 15.0)),
+    )
+    watchdog.watch(
+        consumer,
+        progress=lambda: channel.stats.delivered,
+        stall_checks=int(params.get("stall_checks", 2)),
+        deadline_us=params.get("deadline_us"),
+        # Full delivery ends supervision: the consumer then sits in
+        # drain(), which is quiescence, not a stall.
+        until=lambda: channel.stats.delivered >= words,
+    )
+    watchdog.register_metrics(system.metrics)
+    watchdog.arm()
+    return RunContext(
+        system=system,
+        campaign=campaign,
+        nos=nos,
+        watchdog=watchdog,
+        received=received,
+        expected=[i * 7 + 1 for i in range(words)],
+    )

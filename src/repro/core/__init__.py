@@ -10,6 +10,7 @@ from repro.core.transparency import (
     attribute_to_threads,
     build_report,
 )
+from repro.core.watchdog import RollbackSignal, Watchdog
 
 __all__ = [
     "CoreEnergyRow",
@@ -21,7 +22,9 @@ __all__ = [
     "MapJob",
     "NanoOS",
     "PowerGovernor",
+    "RollbackSignal",
     "SwallowSystem",
     "TaskHandle",
+    "Watchdog",
     "build_report",
 ]

@@ -293,6 +293,44 @@ class NanoOS:
             job.handles.append(handle)
         return job
 
+    # -- checkpointing (see repro.checkpoint) ------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical runtime state: the task table and healing ledger.
+
+        Task bodies are generators and cannot be serialized; the table
+        captures each task's placement, restart generation and progress,
+        which a restore replay must reproduce exactly.
+        """
+        return {
+            "next_task_id": self._next_task_id,
+            "upload_busy_until_ps": self._upload_busy_until_ps,
+            "fault_budget": self.fault_budget,
+            "replacements": self.replacements,
+            "failed_cores": [core.node_id for core in self.failed_cores],
+            "tasks": [
+                {
+                    "task_id": task.task_id,
+                    "node": task.core.node_id,
+                    "started": task.started,
+                    "done": task.done,
+                    "restarts": task.restarts,
+                    "start_time_ps": task.start_time_ps,
+                    "instructions": (
+                        task.thread.instructions_executed
+                        if task.thread is not None else None
+                    ),
+                }
+                for task in self.tasks
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify the replayed runtime against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, "nos")
+
     # -- introspection ---------------------------------------------------------------
 
     @property

@@ -206,6 +206,34 @@ class SwallowSystem:
         """
         return self.sim.profile(tracer=self.tracer)
 
+    # -- checkpointing (see repro.checkpoint) ------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical state of the whole platform, one dict per layer.
+
+        Aggregates the per-component ``snapshot_state()`` hooks — event
+        kernel, cores (threads, memories, chanends), fabric (switches,
+        links) and the energy ledger.  Runtime layers that live *above*
+        the platform (NanoOS, FaultCampaign, Watchdog) snapshot
+        themselves; :class:`repro.checkpoint.Snapshot` stitches both
+        halves together.
+        """
+        return {
+            "sim": self.sim.snapshot_state(),
+            "cores": {
+                str(core.node_id): core.snapshot_state()
+                for core in sorted(self.cores, key=lambda c: c.node_id)
+            },
+            "fabric": self.topology.fabric.snapshot_state(),
+            "energy": self.accounting.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify a replayed platform against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, "system")
+
     def measured_gips(self) -> float:
         """Aggregate instruction throughput achieved so far, in GIPS."""
         if self.sim.now == 0:

@@ -161,6 +161,45 @@ class EnergyAccounting:
             return 0.0
         return self.total_energy_j() / elapsed * 1e3
 
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical ledger state with bit-exact energy accumulators.
+
+        Deliberately does **not** call :meth:`update`: closing the
+        integration windows at capture time would split them differently
+        from an uninterrupted run, and float accumulation is not
+        associative — the capture itself would perturb the final report
+        at the bit level.  Instead the raw accumulators *and* the open
+        window anchors are captured; floats are stored as
+        ``float.hex()`` strings so byte-identity means bit-identity.
+        """
+        return {
+            "start_time_ps": self._start_time,
+            "link_energy_j": self.link_energy_j.hex(),
+            "link_bits_seen": {
+                name: float(bits)
+                for name, bits in sorted(self._last_link_bits.items())
+            },
+            "cores": {
+                str(node_id): {
+                    "energy_j": tracker.energy_j.hex(),
+                    "last_window_power_mw":
+                        tracker.last_window_power_mw.hex(),
+                    "window_start_ps": tracker._last_time,
+                    "window_start_cycle": tracker._last_cycle,
+                    "window_start_slots": tracker._last_slots,
+                }
+                for node_id, tracker in sorted(self.trackers.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify the replayed ledger against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, "energy")
+
     def register_metrics(self, registry) -> None:
         """Publish the ledger as metric series (lazily collected).
 

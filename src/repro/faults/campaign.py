@@ -203,6 +203,16 @@ class FaultCampaign:
         self.channels: dict[str, "ReliableChannel"] = {}
         self._cores = {core.node_id: core for core in system.cores}
         self._armed = False
+        #: Indices into :attr:`faults` whose injection is suppressed — the
+        #: watchdog rollback ladder masks the offending fault and replays.
+        #: A masked injection still *fires* as an event (so the schedule's
+        #: sequence numbers, and hence the pre-fault trajectory, are
+        #: byte-identical to the unmasked run) but takes no action and is
+        #: recorded with ``"masked": True``.
+        self.masked: set[int] = set()
+        #: Spec index of each recorded event, parallel to :attr:`events`
+        #: (kept out of the report payload for byte-compatibility).
+        self.injected: list[int] = []
 
     # -- scheduling ---------------------------------------------------------
 
@@ -211,9 +221,10 @@ class FaultCampaign:
         if self._armed:
             raise RuntimeError("campaign already armed")
         self._armed = True
-        for spec in self.faults:
+        for index, spec in enumerate(self.faults):
             self.system.sim.schedule_at(
-                us(spec.at_us), lambda spec=spec: self._inject(spec)
+                us(spec.at_us),
+                lambda spec=spec, index=index: self._inject(spec, index),
             )
 
     def _record(self, spec: FaultSpec, **extra) -> None:
@@ -224,7 +235,11 @@ class FaultCampaign:
         event.update(extra)
         self.events.append(event)
 
-    def _inject(self, spec: FaultSpec) -> None:
+    def _inject(self, spec: FaultSpec, index: int = -1) -> None:
+        self.injected.append(index)
+        if index in self.masked:
+            self._record(spec, masked=True)
+            return
         if isinstance(spec, LinkKill):
             self.fabric.fail_link(
                 spec.node_a, spec.node_b, spec.index, force=True
@@ -349,6 +364,37 @@ class FaultCampaign:
                 emit("faults.channel_retries", labels, stats.retries)
 
         registry.register_collector(_collect_channels)
+
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical campaign state, including the live RNG stream.
+
+        ``random.Random.getstate()`` is a plain tuple of ints (plus the
+        gauss carry), so the stream position serialises exactly: a
+        replayed campaign that made the same draws lands on the same
+        state, and any divergence in drop/corrupt decisions shows up
+        here as a first-differing-int.
+
+        The :attr:`masked` set is deliberately *not* state — like the
+        fault list itself it is configuration, recorded in the bundle's
+        ``setup``; a pre-injection checkpoint must verify unchanged
+        against a replay that masks the fault.
+        """
+        version, internal, gauss_next = self.rng.getstate()
+        return {
+            "seed": self.seed,
+            "armed": self._armed,
+            "injected": list(self.injected),
+            "events": [dict(event) for event in self.events],
+            "rng": [version, list(internal), gauss_next],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify the replayed campaign against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, "faults")
 
     # -- aggregation --------------------------------------------------------
 

@@ -391,6 +391,30 @@ class SwallowFabric:
         """Routes currently open across every switch."""
         return sum(switch.routes_open for switch in self.switches.values())
 
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical fabric state: routing mode, every switch and link.
+
+        Switches and links appear in construction order, which is itself
+        deterministic, so the nested state (and hence the bundle digest)
+        is byte-stable across runs.
+        """
+        return {
+            "table_routing": self.routing_tables is not None,
+            "switches": {
+                str(node_id): self.switches[node_id].snapshot_state()
+                for node_id in sorted(self.switches)
+            },
+            "links": [link.snapshot_state() for link in self.links],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify the replayed fabric against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, "fabric")
+
     def __repr__(self) -> str:
         return (
             f"<SwallowFabric nodes={len(self.switches)} links={len(self.links)}>"

@@ -237,6 +237,36 @@ class HalfLink:
             return 0.0
         return min(1.0, self.busy_time_ps / elapsed_ps)
 
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical link state: credits, allocation, wire counters.
+
+        In-flight tokens are represented by ``busy`` plus the credit
+        count — the serialization event itself is re-registered by the
+        restore replay, which must land the link back in exactly this
+        state.
+        """
+        return {
+            "name": self.name,
+            "failed": self.failed,
+            "busy": self.busy,
+            "credits": self.credits,
+            "held": self.holder is not None,
+            "fault_hook": self.fault_hook is not None,
+            "tokens_carried": self.tokens_carried,
+            "bits_carried": self.bits_carried,
+            "busy_time_ps": self.busy_time_ps,
+            "tokens_dropped": self.tokens_dropped,
+            "tokens_corrupted": self.tokens_corrupted,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify a replayed link against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, self.name)
+
     def register_metrics(self, registry: "MetricsRegistry") -> None:
         """Publish this half-link's traffic series (lazily collected).
 

@@ -425,6 +425,46 @@ class Switch:
         ports: list[InputPort] = [*self.link_ports, *self.chanend_ports.values()]
         return sum(port.routes_opened for port in ports)
 
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical switch state: counters plus every active port.
+
+        A port is active when it buffers tokens, holds an open route, or
+        is mid-discard of a severed packet; idle ports are omitted (and
+        an unexpectedly active port after replay fails verification).
+        """
+        ports: dict[str, dict] = {}
+        for port in [*self.link_ports, *self.chanend_ports.values()]:
+            if not (port.buffer or port.route is not None
+                    or port._discarding or port._header):
+                continue
+            ports[port.name] = {
+                "buffer": [[t.value, t.is_control] for t in port.buffer],
+                "header": [[t.value, t.is_control] for t in port._header],
+                "route_open": port.route is not None,
+                "route_dest": (str(port.route.dest)
+                               if port.route is not None else None),
+                "discarding": port._discarding,
+                "routes_opened": port.routes_opened,
+            }
+        return {
+            "node": self.node_id,
+            "routes_closed": self.routes_closed,
+            "routes_severed": self.routes_severed,
+            "tokens_delivered": self.tokens_delivered,
+            "tokens_forwarded": self.tokens_forwarded,
+            "tokens_discarded": self.tokens_discarded,
+            "routes_open": self.routes_open,
+            "active_ports": ports,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify a replayed switch against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, self.name)
+
     def register_metrics(self, registry: "MetricsRegistry") -> None:
         """Publish this switch's routing/traffic series.
 

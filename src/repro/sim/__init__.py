@@ -1,6 +1,7 @@
 """Discrete-event simulation kernel used by every Swallow subsystem."""
 
 from repro.sim.engine import EventHandle, Process, SimulationError, Simulator
+from repro.sim.state import StateMismatchError, verify_state
 from repro.sim.time import (
     F_71MHZ,
     F_500MHZ,
@@ -32,6 +33,7 @@ __all__ = [
     "Process",
     "SimulationError",
     "Simulator",
+    "StateMismatchError",
     "TraceRecord",
     "TraceRecorder",
     "ms",
@@ -41,4 +43,5 @@ __all__ = [
     "to_seconds",
     "to_us",
     "us",
+    "verify_state",
 ]

@@ -46,6 +46,7 @@ class _QueuedEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class EventHandle:
@@ -63,12 +64,26 @@ class EventHandle:
 
     @property
     def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called."""
+        """Whether :meth:`cancel` has been called before the event fired."""
         return self._event.cancelled
 
-    def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
+    @property
+    def executed(self) -> bool:
+        """Whether the event already fired."""
+        return self._event.executed
+
+    def cancel(self) -> bool:
+        """Prevent the event from firing.  Idempotent.
+
+        Cancelling an event that already fired — or a stale handle kept
+        across a checkpoint restore, whose simulator no longer owns the
+        event — is a safe no-op.  Returns True only when this call
+        actually withdrew a pending event.
+        """
+        if self._event.executed or self._event.cancelled:
+            return False
         self._event.cancelled = True
+        return True
 
 
 class Simulator:
@@ -132,6 +147,21 @@ class Simulator:
             self._profiler.on_queue_depth(depth)
         return EventHandle(event)
 
+    def next_event_time(self) -> int | None:
+        """Firing time of the next pending event, or None when idle.
+
+        Skims cancelled events off the head of the queue as a side
+        effect, so checkpoint policies can peek without perturbing the
+        execution trajectory.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return head.time
+        return None
+
     def step(self) -> bool:
         """Run the single next event.  Returns False if the queue is empty."""
         while self._queue:
@@ -140,6 +170,7 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
+            event.executed = True
             if self._profiler is not None:
                 self._profiler.on_event(event.time, event.callback)
             event.callback()
@@ -248,6 +279,45 @@ class Simulator:
         registry.gauge_fn("sim.pending_events", lambda: self.pending_events)
         registry.gauge_fn("sim.queue_depth_hwm", lambda: self._queue_hwm)
         registry.gauge_fn("sim.now_ps", lambda: self._now)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.checkpoint)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical kernel state for a checkpoint bundle.
+
+        The event queue itself is *not* serialized — queued callbacks
+        are arbitrary closures.  Restore works by schedulable-state
+        re-registration: the workload is rebuilt and replayed to
+        ``events_processed``, which reproduces the queue exactly (the
+        kernel is a pure function of its configuration); this state dict
+        is then the proof obligation the replayed kernel must meet.
+        """
+        return {
+            "now_ps": self._now,
+            "seq": self._seq,
+            "events_processed": self._events_processed,
+            "pending_events": self.pending_events,
+            "queue_depth_hwm": self._queue_hwm,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify a replayed kernel against checkpointed state.
+
+        Called after the restore replay has re-registered and re-run the
+        schedulable state; every field must already match (the queue is
+        rebuilt by replay, never injected), so a mismatch means the
+        replay diverged — a non-deterministic workload or a corrupted
+        bundle — and raises ``SimulationError``.
+        """
+        mine = self.snapshot_state()
+        for key, expected in state.items():
+            if mine.get(key) != expected:
+                raise SimulationError(
+                    f"checkpoint restore diverged: sim.{key} is "
+                    f"{mine.get(key)!r}, bundle says {expected!r}"
+                )
 
 
 class Process:

@@ -53,10 +53,23 @@ class Compute:
 
 @dataclass
 class SendWord:
-    """Send a 32-bit word on a channel end (one ``out`` instruction)."""
+    """Send a 32-bit word on a channel end (one ``out`` instruction).
+
+    The yield's value is True once the word is buffered for
+    transmission.  With ``timeout_cycles`` set, waiting longer than
+    that for transmit-buffer space abandons the send and the yield's
+    value is False — the escape hatch reliable channels need when the
+    route ahead is severed and the buffer never drains (a plain send
+    would block forever, a *silent stall*).
+    """
 
     chanend: "Chanend"
     value: int
+    timeout_cycles: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles is not None and self.timeout_cycles < 1:
+            raise ValueError("timeout must be at least one cycle")
 
 
 @dataclass
@@ -83,10 +96,18 @@ class RecvToken:
 
 @dataclass
 class SendCt:
-    """Send a control token (e.g. ``CT_END`` to close a route)."""
+    """Send a control token (e.g. ``CT_END`` to close a route).
+
+    Supports ``timeout_cycles`` exactly like :class:`SendWord`.
+    """
 
     chanend: "Chanend"
     code: int
+    timeout_cycles: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles is not None and self.timeout_cycles < 1:
+            raise ValueError("timeout must be at least one cycle")
 
 
 @dataclass
@@ -159,6 +180,25 @@ class BehavioralThread(HardwareThread):
         self._timeout_handle = None
         core.add_thread(self)
 
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Scheduling state plus the operation-level behavioural state.
+
+        The generator frame itself is unserializable; what *is* captured
+        is everything observable about the thread's progress — which the
+        restore replay must reproduce exactly.
+        """
+        state = super().snapshot_state()
+        state["kind"] = "behavioral"
+        state["current_op"] = (
+            type(self._current).__name__ if self._current is not None else None
+        )
+        state["compute_left"] = self._compute_left
+        state["packet_accum"] = list(self._packet_accum)
+        state["timeout_armed"] = self._timeout_handle is not None
+        return state
+
     # -- generator pump -----------------------------------------------------
 
     def _fetch(self) -> bool:
@@ -196,11 +236,15 @@ class BehavioralThread(HardwareThread):
                 self._complete()
             return self._count(op.energy_class)
         if isinstance(op, SendWord):
-            return self._send_tokens(op.chanend, word_to_tokens(op.value))
+            return self._send_tokens(
+                op.chanend, word_to_tokens(op.value), op.timeout_cycles
+            )
         if isinstance(op, SendToken):
             return self._send_tokens(op.chanend, [data_token(op.value)])
         if isinstance(op, SendCt):
-            return self._send_tokens(op.chanend, [control_token(op.code)])
+            return self._send_tokens(
+                op.chanend, [control_token(op.code)], op.timeout_cycles
+            )
         if isinstance(op, RecvWord):
             return self._recv_word(op.chanend)
         if isinstance(op, RecvToken):
@@ -246,13 +290,36 @@ class BehavioralThread(HardwareThread):
             src, self.span, src.last_send_ps, self.core.sim.now
         )
 
-    def _send_tokens(self, chanend: "Chanend", tokens: list) -> StepOutcome:
+    def _send_tokens(
+        self,
+        chanend: "Chanend",
+        tokens: list,
+        timeout_cycles: int | None = None,
+    ) -> StepOutcome:
+        if self._timeout_handle is not None:      # woken by space, not timeout
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
         if chanend.tx_space() < len(tokens):
             chanend.wait_tx_space(self, len(tokens))
+            if timeout_cycles is not None:
+                delay = self.core.frequency.cycles_to_ps(timeout_cycles)
+                self._timeout_handle = self.core.sim.schedule(
+                    delay, lambda: self._send_timeout(chanend)
+                )
             return StepOutcome.PAUSED
         chanend.push_tx(tokens)
+        self._pending_result = True
         self._complete()
         return self._count(EnergyClass.COMM)
+
+    def _send_timeout(self, chanend: "Chanend") -> None:
+        """The armed send deadline passed with the buffer still full."""
+        self._timeout_handle = None
+        if not chanend.cancel_tx_wait(self):
+            return                                # space won the race
+        self._pending_result = False
+        self._complete()
+        self.resume()
 
     def _recv_word(self, chanend: "Chanend") -> StepOutcome:
         if chanend.rx_available() < TOKENS_PER_WORD:

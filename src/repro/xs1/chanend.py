@@ -206,5 +206,41 @@ class Chanend:
             return True
         return False
 
+    def cancel_tx_wait(self, thread: "HardwareThread") -> bool:
+        """Withdraw ``thread``'s pending transmit-space wait.
+
+        The send-side twin of :meth:`cancel_rx_wait`: a send deadline
+        passed while the transmit buffer was still full (e.g. the route
+        ahead is severed and nothing drains).  Returns True when the
+        thread was still the registered waiter.
+        """
+        if self._tx_waiter is thread:
+            self._tx_waiter = None
+            self._tx_need = 0
+            return True
+        return False
+
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical chanend state: buffers, counters, waiter presence."""
+        return {
+            "index": self.index,
+            "allocated": self.allocated,
+            "dest": str(self.dest) if self.dest is not None else None,
+            "rx": [[t.value, t.is_control] for t in self.rx],
+            "tx": [[t.value, t.is_control] for t in self.tx],
+            "tokens_sent": self.tokens_sent,
+            "tokens_received": self.tokens_received,
+            "rx_waiting": self._rx_waiter is not None,
+            "tx_waiting": self._tx_waiter is not None,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify a replayed chanend against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, str(self))
+
     def __str__(self) -> str:
         return f"chanend {self.address}"

@@ -402,6 +402,53 @@ class XCore:
         if thread is not None and thread.span is not None:
             thread.span.count_instruction(self.node_id)
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.checkpoint)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical core state for a checkpoint bundle.
+
+        Covers clocking, failure status, execution statistics, every
+        spawned thread (delegated to the thread's own hook), the SRAM
+        digest, and every *active* chanend — allocated, buffering, or
+        counting traffic; untouched chanends are omitted to keep bundles
+        proportional to activity, and their absence is itself verified
+        (an extra active chanend after replay fails the comparison).
+        """
+        return {
+            "node": self.node_id,
+            "name": self.name,
+            "failed": self.failed,
+            "frequency_hz": self._frequency.hz,
+            "voltage": self._voltage,
+            "next_tid": self._next_tid,
+            "ticking": self._ticking,
+            "stats": {
+                "slots_issued": self.stats.slots_issued,
+                "slots_bubble": self.stats.slots_bubble,
+                "instructions": {
+                    cls.value: self.stats.instructions[cls]
+                    for cls in sorted(self.stats.instructions,
+                                      key=lambda c: c.value)
+                },
+            },
+            "memory": self.memory.snapshot_state(),
+            "threads": [thread.snapshot_state() for thread in self.threads],
+            "chanends": {
+                str(ce.index): ce.snapshot_state()
+                for ce in self._chanends
+                if ce.allocated or ce.rx or ce.tx
+                or ce.tokens_sent or ce.tokens_received
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify a replayed core against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, self.name)
+
     def register_metrics(self, registry) -> None:
         """Publish this core's execution series (lazily collected).
 

@@ -87,3 +87,27 @@ class Sram:
                 f"block [{address:#x}, +{length}) outside SRAM"
             )
         return bytes(self._data[address : address + length])
+
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical SRAM state: access counters plus a content digest.
+
+        The digest (not the 64 KiB image) goes into checkpoint bundles;
+        restore replays the workload, which rewrites the memory, and the
+        digest proves the replayed image is byte-identical.
+        """
+        import hashlib
+
+        return {
+            "size": self.size,
+            "loads": self.loads,
+            "stores": self.stores,
+            "sha256": hashlib.sha256(self._data).hexdigest(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify replayed SRAM contents against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, "sram")

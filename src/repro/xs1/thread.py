@@ -118,6 +118,34 @@ class HardwareThread:
         """Consume one issue slot.  Implemented by subclasses."""
         raise NotImplementedError
 
+    # -- checkpointing (see repro.checkpoint) -------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical scheduling state for a checkpoint bundle.
+
+        Subclasses extend this with their program state; behavioural
+        threads cannot serialize their generator frame, which is exactly
+        why restore replays the workload instead of unpickling it — the
+        replayed thread must then match this dict field for field.
+        """
+        return {
+            "kind": "thread",
+            "tid": self.tid,
+            "name": self.name,
+            "state": self.state.value,
+            "pause_reason": self.pause_reason,
+            "instructions_executed": self.instructions_executed,
+            "pauses": self.pauses,
+            "next_issue_cycle": self.next_issue_cycle,
+            "waiting_for_event": self.waiting_for_event,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify a replayed thread against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, self.name)
+
 
 class IsaThread(HardwareThread):
     """A hardware thread executing an assembled :class:`Program`."""
@@ -142,6 +170,15 @@ class IsaThread(HardwareThread):
             raise TrapError(f"{self.name}: event fired with no vector set")
         self.pc = vector
         super().take_event(vector)
+
+    def snapshot_state(self) -> dict:
+        """Scheduling state plus the architectural state: pc + registers."""
+        state = super().snapshot_state()
+        state["kind"] = "isa"
+        state["pc"] = self.pc
+        state["program"] = self.program.name
+        state["regs"] = self.regs.snapshot()
+        return state
 
     def step(self) -> StepOutcome:
         """Fetch and execute the instruction at ``pc``."""

@@ -1,0 +1,79 @@
+"""Tests for checkpoint cadence and the on-disk retained set."""
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointStore,
+    ResumableRun,
+    Snapshot,
+)
+
+
+class TestPolicy:
+    def test_needs_at_least_one_cadence(self):
+        with pytest.raises(ValueError, match="every_events and/or every_us"):
+            CheckpointPolicy()
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError, match="every_events"):
+            CheckpointPolicy(every_events=0)
+        with pytest.raises(ValueError, match="every_us"):
+            CheckpointPolicy(every_us=0.0)
+        with pytest.raises(ValueError, match="retain"):
+            CheckpointPolicy(every_events=10, retain=0)
+
+    def test_event_cadence_captures_at_boundaries(self):
+        run = ResumableRun(
+            "faults_stream", {"words": 4, "seed": 0},
+            policy=CheckpointPolicy(every_events=300, retain=2),
+        )
+        run.run()
+        total = run.context.system.sim.events_processed
+        assert run.captures == total // 300
+        assert len(run.snapshots) == 2          # retained set is bounded
+        assert [s.events_processed for s in run.snapshots] == [
+            (run.captures - 1) * 300, run.captures * 300
+        ]
+
+    def test_time_cadence_captures_between_events(self):
+        run = ResumableRun(
+            "faults_stream", {"words": 4, "seed": 0},
+            policy=CheckpointPolicy(every_us=50.0, retain=100),
+        )
+        run.run()
+        assert run.captures >= 2
+        marks = [s.time_ps for s in run.snapshots]
+        assert marks == sorted(marks)
+
+
+class TestStore:
+    def test_add_prunes_beyond_retain(self, tmp_path):
+        run = ResumableRun(
+            "faults_stream", {"words": 4, "seed": 0},
+            policy=CheckpointPolicy(every_events=300, retain=2),
+            store=CheckpointStore(tmp_path / "store", retain=2),
+        )
+        run.run()
+        store = CheckpointStore(tmp_path / "store", retain=2)
+        assert len(store) == 2
+        names = [p.name for p in store.paths()]
+        assert names == sorted(names)
+
+    def test_latest_returns_newest_validated_bundle(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store", retain=3)
+        run = ResumableRun(
+            "faults_stream", {"words": 4, "seed": 0},
+            policy=CheckpointPolicy(every_events=400, retain=3),
+            store=store,
+        )
+        run.run()
+        latest = store.latest()
+        assert latest.events_processed == run.snapshots[-1].events_processed
+        assert isinstance(latest, Snapshot)
+
+    def test_latest_on_empty_store_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path / "empty")
+        with pytest.raises(CheckpointError, match="no checkpoint bundles"):
+            store.latest()

@@ -1,0 +1,102 @@
+"""Tests for snapshot bundles: capture, serialisation, integrity."""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    SCHEMA_VERSION,
+    BundleIntegrityError,
+    CheckpointError,
+    Snapshot,
+    build_workload,
+    canonical_json,
+    content_digest,
+)
+
+
+def captured_context(events: int = 600):
+    context = build_workload("faults_stream", {"words": 8, "seed": 1})
+    context.system.sim.run(max_events=events)
+    snapshot = context.capture(
+        setup={"workload": "faults_stream", "params": {"words": 8, "seed": 1}}
+    )
+    return context, snapshot
+
+
+class TestCapture:
+    def test_capture_records_every_layer(self):
+        _context, snapshot = captured_context()
+        assert snapshot.schema == SCHEMA_VERSION
+        assert snapshot.events_processed == 600
+        assert snapshot.time_ps > 0
+        state = snapshot.state
+        assert set(state) == {"system", "campaign"}
+        assert set(state["system"]) == {"sim", "cores", "fabric", "energy"}
+
+    def test_capture_does_not_perturb_the_run(self):
+        """Capturing mid-run must not change the final report."""
+        plain = build_workload("faults_stream", {"words": 8, "seed": 1})
+        plain.system.run()
+        context, _snapshot = captured_context()
+        context.system.run()
+        assert (
+            canonical_json(context.final_report())
+            == canonical_json(plain.final_report())
+        )
+
+    def test_live_system_verifies_against_its_own_capture(self):
+        context, snapshot = captured_context()
+        context.verify(snapshot)       # no divergence, no raise
+
+    def test_diverged_system_fails_verification(self):
+        from repro.sim.state import StateMismatchError
+
+        context, snapshot = captured_context()
+        context.system.sim.run(max_events=1)
+        # Which diverging field is reported first is an implementation
+        # detail; that verification raises and names *a* path is not.
+        with pytest.raises(StateMismatchError, match="system\\."):
+            context.verify(snapshot)
+
+
+class TestBundleIO:
+    def test_roundtrip_is_byte_identical(self, tmp_path):
+        _context, snapshot = captured_context()
+        path = tmp_path / "bundle.json"
+        snapshot.save(path)
+        loaded = Snapshot.load(path)
+        assert loaded.to_json() == snapshot.to_json()
+        assert loaded.digest == snapshot.digest
+
+    def test_digest_covers_the_body(self):
+        _context, snapshot = captured_context()
+        body = {k: v for k, v in snapshot.payload.items() if k != "digest"}
+        assert snapshot.digest == content_digest(body)
+
+    def test_tampered_state_rejected(self, tmp_path):
+        _context, snapshot = captured_context()
+        payload = json.loads(snapshot.to_json())
+        payload["state"]["system"]["sim"]["events_processed"] += 1
+        with pytest.raises(BundleIntegrityError, match="digest mismatch"):
+            Snapshot.from_json(json.dumps(payload))
+
+    def test_tampered_setup_rejected(self):
+        _context, snapshot = captured_context()
+        payload = json.loads(snapshot.to_json())
+        payload["setup"]["params"]["seed"] = 999
+        with pytest.raises(BundleIntegrityError):
+            Snapshot.from_json(json.dumps(payload))
+
+    def test_unsupported_schema_rejected(self):
+        _context, snapshot = captured_context()
+        payload = json.loads(snapshot.to_json())
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(CheckpointError, match="schema"):
+            Snapshot.from_json(json.dumps(payload))
+
+    def test_non_bundle_rejected(self):
+        with pytest.raises(CheckpointError, match="unparseable"):
+            Snapshot.from_json("not json at all {")
+        with pytest.raises(CheckpointError, match="no schema"):
+            Snapshot.from_json('{"hello": "world"}')

@@ -38,6 +38,76 @@ class TestDemo:
         assert "Energy report" in out
 
 
+class TestCheckpointCli:
+    def test_faults_kill_exits_resumable(self, capsys, tmp_path):
+        """--kill-after-events simulates a crash: exit 75 + bundles on disk."""
+        store = tmp_path / "store"
+        code = main([
+            "faults", "--words", "8", "--seed", "3",
+            "--checkpoint-every", "400",
+            "--checkpoint-dir", str(store),
+            "--kill-after-events", "1200",
+        ])
+        assert code == 75
+        out = capsys.readouterr().out
+        assert "killed after 1200 events" in out
+        assert list(store.glob("checkpoint-*.json"))
+
+    def test_checkpoint_then_resume_completes(self, capsys, tmp_path):
+        bundle = tmp_path / "bundle.json"
+        assert main([
+            "checkpoint", "--workload", "faults_stream",
+            "--params", '{"words": 8, "seed": 1}',
+            "--after-events", "900", "--out", str(bundle),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "events processed  900" in out
+        assert bundle.exists()
+        assert main(["resume", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "@ 900 events, verified" in out
+        assert "recovery report: completed" in out
+        assert "delivered         8 (intact)" in out
+
+    def test_resume_from_store_matches_uninterrupted(self, capsys, tmp_path):
+        """The CI soak flow in miniature: kill, resume from the store,
+        and diff the final JSON report against an uninterrupted run."""
+        import json
+
+        store = tmp_path / "store"
+        report_path = tmp_path / "resumed.json"
+        assert main([
+            "faults", "--words", "8", "--seed", "3",
+            "--checkpoint-every", "300",
+            "--checkpoint-dir", str(store),
+            "--kill-after-events", "1000",
+        ]) == 75
+        capsys.readouterr()
+        assert main([
+            "resume", "--dir", str(store),
+            "--report-out", str(report_path),
+        ]) == 0
+        capsys.readouterr()
+        resumed = json.loads(report_path.read_text())
+        resumed.pop("recovery")
+
+        from repro.checkpoint import build_workload
+        reference = build_workload(
+            "faults_stream",
+            {"slices_x": 1, "slices_y": 1, "words": 8,
+             "drop_rate": 0.05, "seed": 3},
+        )
+        reference.system.run()
+        assert (
+            json.dumps(resumed, sort_keys=True)
+            == json.dumps(reference.final_report(), sort_keys=True)
+        )
+
+    def test_resume_without_source_errors(self, capsys):
+        assert main(["resume"]) == 2
+        assert "need a bundle path or --dir" in capsys.readouterr().err
+
+
 class TestParsing:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -31,6 +31,45 @@ class TestRouteHealing:
         assert campaign.monitor.reroutes == 1
         assert len(campaign.monitor.link_failures) == 1
 
+    def test_double_fault_on_same_route_reroutes_twice(self):
+        """Two successive link deaths on the stream's route: the first
+        kills the direct link (detour via the ring), the second kills a
+        link on the detour itself.  The monitor must recompute tables
+        both times, every word must still arrive in order, and at
+        quiescence no switch credit may be leaked anywhere."""
+        from repro.network.params import SWITCH_BUFFER_TOKENS
+
+        system = SwallowSystem(metrics=False)
+        core_a, core_b = adjacent_pair(system)
+        channel = ReliableChannel.between(core_a, core_b)
+        received = stream(system, channel, words=20, payload=lambda i: i + 100)
+        campaign = FaultCampaign(
+            system,
+            [
+                LinkKill(at_us=3.0, node_a=core_a.node_id,
+                         node_b=core_b.node_id),
+                # The first detour runs 0-1-3-2-10-11-9-8; link 10-11 is
+                # on it, so this second death forces another recompute.
+                LinkKill(at_us=10.0, node_a=10, node_b=11),
+            ],
+            seed=0,
+        )
+        campaign.arm()
+        system.run()
+        assert received == [i + 100 for i in range(20)]
+        assert campaign.monitor.reroutes == 2
+        assert len(campaign.monitor.link_failures) == 2
+        fabric = system.topology.fabric
+        dead = {(r.node_a, r.node_b) for r in fabric.link_records
+                if not r.healthy}
+        assert dead == {(core_a.node_id, core_b.node_id), (10, 11)}
+        # Credit conservation: every link idle with a full credit window
+        # (cancelled in-flight tokens were refunded, nothing double
+        # counted) and every switch buffer drained.
+        for link in fabric.links:
+            assert not link.busy, link.name
+            assert link.credits == SWITCH_BUFFER_TOKENS, link.name
+
     def test_monitor_counts_every_failure(self):
         system = SwallowSystem(metrics=False)
         fabric = system.topology.fabric

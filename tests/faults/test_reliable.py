@@ -3,8 +3,8 @@
 import pytest
 
 from repro import ReliableChannel, SwallowSystem
-from repro.apps.reliable import frame_checksum
-from repro.faults import FaultCampaign, FlakyLink
+from repro.apps.reliable import RetryExhaustedError, frame_checksum
+from repro.faults import FaultCampaign, FlakyLink, LinkKill
 from repro.network.routing import Layer
 
 
@@ -115,6 +115,54 @@ class TestLossyChannel:
         assert received == [i * 3 + 1 for i in range(10)]
         assert (channel.stats.checksum_failures
                 + channel.stats.bad_acks) > 0
+
+
+class TestSeveredRoute:
+    def test_permanent_link_kill_raises_typed_error(self):
+        """With the only route dead and healing off, the sender must
+        surface RetryExhaustedError — never stall silently.  The send
+        deadline turns a transmit buffer that will never drain into a
+        counted retry."""
+        system = SwallowSystem(metrics=False)
+        core_a, core_b = adjacent_pair(system)
+        channel = ReliableChannel.between(core_a, core_b, max_retries=4)
+        stream(system, channel, words=8)
+        campaign = FaultCampaign(
+            system,
+            [LinkKill(at_us=8.0, node_a=core_a.node_id,
+                      node_b=core_b.node_id)],
+            seed=0,
+            heal=False,
+        )
+        campaign.arm()
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            system.run()
+        # The typed error carries the stuck frame and the spent budget.
+        assert excinfo.value.attempts == 4 + 1
+        assert excinfo.value.seq >= 1       # some words got through first
+        assert channel.stats.send_timeouts > 0
+        assert channel.stats.delivered < 8
+
+    def test_backoff_capped_at_documented_maximum(self):
+        channel = ReliableChannel.between(
+            *adjacent_pair(SwallowSystem(metrics=False)),
+            ack_timeout_cycles=1_000,
+            max_backoff_cycles=3_000,
+        )
+        assert channel.max_backoff_cycles == 3_000
+        backoff = channel.ack_timeout_cycles
+        seen = []
+        for _ in range(6):
+            seen.append(backoff)
+            backoff = min(backoff * 2, channel.max_backoff_cycles)
+        assert seen == [1_000, 2_000, 3_000, 3_000, 3_000, 3_000]
+
+    def test_default_backoff_cap_is_16x_ack_timeout(self):
+        channel = ReliableChannel.between(
+            *adjacent_pair(SwallowSystem(metrics=False)),
+            ack_timeout_cycles=2_000,
+        )
+        assert channel.max_backoff_cycles == 32_000
 
 
 class TestProtocol:

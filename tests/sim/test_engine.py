@@ -95,6 +95,71 @@ class TestCancellation:
         handle.cancel()
         assert sim.pending_events == 1
 
+    def test_cancel_pending_reports_withdrawal(self):
+        sim = Simulator()
+        handle = sim.schedule(ns(10), lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False     # second call withdrew nothing
+
+    def test_cancel_after_execution_is_safe_noop(self):
+        """A stale handle — e.g. a send-deadline timer kept across a
+        checkpoint restore — must cancel as a no-op, not corrupt state."""
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(ns(10), lambda: fired.append(sim.now))
+        sim.run()
+        assert handle.executed
+        assert handle.cancel() is False
+        assert not handle.cancelled         # it fired; it was never withdrawn
+        assert fired == [ns(10)]
+        # The no-op must not disturb kernel counters or later events.
+        assert sim.events_processed == 1
+        later = []
+        sim.schedule(ns(5), lambda: later.append(True))
+        assert sim.pending_events == 1
+        sim.run()
+        assert later == [True]
+
+    def test_executed_flag_tracks_firing(self):
+        sim = Simulator()
+        first = sim.schedule(ns(10), lambda: None)
+        second = sim.schedule(ns(20), lambda: None)
+        assert not first.executed and not second.executed
+        sim.step()
+        assert first.executed and not second.executed
+        sim.run()
+        assert second.executed
+
+    def test_cancelled_event_never_marked_executed(self):
+        sim = Simulator()
+        handle = sim.schedule(ns(10), lambda: None)
+        handle.cancel()
+        sim.run()
+        assert handle.cancelled and not handle.executed
+
+
+class TestNextEventTime:
+    def test_peeks_without_executing(self):
+        sim = Simulator()
+        sim.schedule(ns(10), lambda: None)
+        assert sim.next_event_time() == ns(10)
+        assert sim.events_processed == 0
+        assert sim.now == 0
+
+    def test_skips_cancelled_heads(self):
+        sim = Simulator()
+        head = sim.schedule(ns(5), lambda: None)
+        sim.schedule(ns(10), lambda: None)
+        head.cancel()
+        assert sim.next_event_time() == ns(10)
+
+    def test_idle_queue_returns_none(self):
+        sim = Simulator()
+        assert sim.next_event_time() is None
+        handle = sim.schedule(ns(10), lambda: None)
+        handle.cancel()
+        assert sim.next_event_time() is None
+
 
 class TestRunUntil:
     def test_run_until_stops_at_boundary(self):

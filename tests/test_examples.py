@@ -57,6 +57,12 @@ class TestExamples:
         assert "server handled 8 requests" in out
         assert "sum 10 (expect 10)" in out
 
+    def test_resumable_campaign(self, capsys):
+        out = run_example("resumable_campaign", capsys)
+        assert "byte-identical to uninterrupted run: True" in out
+        assert "rollback #1" in out
+        assert "24/24 words delivered, intact" in out
+
     def test_fault_tolerant_pipeline(self, capsys):
         out = run_example("fault_tolerant_pipeline", capsys)
         assert "fault campaign (seed 42)" in out
