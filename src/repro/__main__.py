@@ -27,7 +27,17 @@ Commands:
   the causal span tree (span JSONL, or a Chrome trace with cross-core
   flow arrows);
 * ``energy-report`` — run the same pipeline and print the per-span
-  energy attribution (``--folded`` writes flame-graph folded stacks).
+  energy attribution (``--folded`` writes flame-graph folded stacks);
+* ``perf`` — the kernel performance observatory: ``record`` appends
+  bench-profile rows to the append-only perf-history ledger,
+  ``compare`` gates current numbers against the ledger's rolling
+  baselines (non-zero exit on regression), ``report`` prints the
+  per-bench trajectory.
+
+``demo``, ``faults`` and ``resume`` accept ``--heartbeat-every N``
+(with ``--heartbeat-out PATH``) to stream JSONL progress snapshots
+every N kernel events — byte-identical across same-seed runs except
+for the wall-clock fields.
 """
 
 from __future__ import annotations
@@ -162,12 +172,38 @@ def _demo_workload(system, seed: int | None = None) -> list[int]:
     return received
 
 
+def _heartbeat(args: argparse.Namespace, metrics=None):
+    """A RunHeartbeat from the shared --heartbeat-* flags (or None)."""
+    from repro.obs.perf import RunHeartbeat
+
+    if args.heartbeat_every is None:
+        return None
+    return RunHeartbeat(args.heartbeat_every, out=args.heartbeat_out,
+                        metrics=metrics)
+
+
+def _add_heartbeat_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--heartbeat-every", type=_positive_int,
+                        default=None, metavar="N",
+                        help="emit a JSONL progress snapshot every N "
+                             "kernel events")
+    parser.add_argument("--heartbeat-out", default=None, metavar="PATH",
+                        help="heartbeat JSONL output file "
+                             "(default: stderr summary only)")
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     from repro import SwallowSystem
 
     system = SwallowSystem()
     received = _demo_workload(system, seed=args.seed)
-    system.run()
+    heartbeat = _heartbeat(args, metrics=system.metrics)
+    if heartbeat is not None:
+        heartbeat.drive(system.sim)
+        if args.heartbeat_out and not args.json:
+            print(f"wrote {heartbeat.beats} heartbeats to {args.heartbeat_out}")
+    else:
+        system.run()
     report = system.energy_report()
     if args.json:
         document = {
@@ -187,9 +223,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
     _demo_workload(system, seed=args.seed)
-    with system.profile() as profile:
+    with system.profile(wall_sample_every=args.sample_every) as profile:
         system.run()
     snapshot = system.metrics_snapshot()
+    if args.folded:
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write(profile.folded())
+    if args.meta_trace:
+        from repro.obs import write_profile_chrome_trace
+
+        write_profile_chrome_trace(profile, args.meta_trace)
     if args.json:
         print(json.dumps(
             {"profile": profile.to_dict(), "metrics": snapshot.as_dict()},
@@ -199,6 +242,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(profile.render())
     print()
     print(snapshot.render(prefix=args.prefix))
+    if args.folded:
+        print(f"wrote folded flame stacks to {args.folded}")
+    if args.meta_trace:
+        print(f"wrote simulator meta-trace to {args.meta_trace}")
     return 0
 
 
@@ -265,7 +312,9 @@ def _checkpoint_run(args: argparse.Namespace, workload: str, params: dict):
 def cmd_faults(args: argparse.Namespace) -> int:
     params = _stream_params(args)
     run = _checkpoint_run(args, "faults_stream", params)
-    recovery = run.run(kill_after_events=args.kill_after_events)
+    heartbeat = _heartbeat(args, metrics=run.context.system.metrics)
+    recovery = run.run(kill_after_events=args.kill_after_events,
+                       heartbeat=heartbeat)
     context = run.context
     report = context.campaign.report()
     if args.metrics_out:
@@ -273,6 +322,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(snapshot.as_dict(), sort_keys=True))
         print(f"wrote metrics snapshot to {args.metrics_out}")
+    if heartbeat is not None and args.heartbeat_out and not args.json:
+        print(f"wrote {heartbeat.beats} heartbeats to {args.heartbeat_out}")
     delivered_ok = context.received == context.expected
     if args.json:
         document = {"delivered_ok": delivered_ok, "report": report.to_dict()}
@@ -340,7 +391,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
             every_events=args.checkpoint_every, retain=args.retain
         )
     run = ResumableRun.resume(snapshot, policy=policy)
-    recovery = run.run()
+    heartbeat = _heartbeat(args, metrics=run.context.system.metrics)
+    recovery = run.run(heartbeat=heartbeat)
     document = run.final_report()
     document["recovery"] = recovery.to_dict()
     if args.report_out:
@@ -447,6 +499,109 @@ def cmd_energy_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _git_sha() -> str:
+    """The current short commit SHA, best-effort (CLI edge only)."""
+    import os
+    import subprocess
+
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+        if result.returncode == 0:
+            return result.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    sha = os.environ.get("GITHUB_SHA", "")
+    return sha[:12] if sha else "unknown"
+
+
+def _load_profile_records(args: argparse.Namespace, min_events: int):
+    """Current PerfRecords from a bench-profile JSON (CLI edge stamps time)."""
+    import time
+
+    from repro.obs.perf import records_from_profile
+
+    try:
+        with open(args.profile, encoding="utf-8") as handle:
+            profile = json.load(handle)
+    except OSError as err:
+        print(f"perf: cannot read bench profile {args.profile}: {err}",
+              file=sys.stderr)
+        return None
+    timestamp = args.timestamp if args.timestamp is not None else time.time()
+    sha = args.sha if args.sha else _git_sha()
+    return records_from_profile(
+        profile, timestamp=timestamp, git_sha=sha, min_events=min_events
+    )
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.obs.perf import (
+        PerfHistory,
+        compare_against_history,
+        render_history_report,
+    )
+
+    history = PerfHistory(args.history)
+    if args.perf_command == "record":
+        records = _load_profile_records(args, args.min_events)
+        if records is None:
+            return 2
+        written = history.extend(records)
+        print(f"appended {written} records to {history.path}")
+        for record in records:
+            print(f"  {record.bench:<60} {record.events_per_sec:>12,.0f} ev/s")
+        return 0
+    if args.perf_command == "compare":
+        records = _load_profile_records(args, 0)
+        if records is None:
+            return 2
+        if not history.path.exists():
+            print(f"perf: no history at {history.path}; record a baseline "
+                  f"first", file=sys.stderr)
+            return 2
+        comparisons, unseen = compare_against_history(
+            history, records,
+            tolerance=args.tolerance, window=args.window,
+            min_events=args.min_events,
+        )
+        regressions = [c for c in comparisons if c.regressed]
+        if args.json:
+            print(json.dumps({
+                "tolerance": args.tolerance,
+                "compared": [
+                    {"bench": c.bench, "baseline_eps": c.baseline_eps,
+                     "current_eps": c.current_eps, "ratio": c.ratio,
+                     "regressed": c.regressed}
+                    for c in comparisons
+                ],
+                "unseen": [r.bench for r in unseen],
+                "regressed": bool(regressions),
+            }, sort_keys=True))
+        else:
+            for comparison in comparisons:
+                print(comparison.render())
+            for record in unseen:
+                print(f"{record.bench:<60} {'(no baseline yet)':>12}")
+            if not comparisons and not unseen:
+                print("perf compare: no benches above the event threshold "
+                      f"({args.min_events}); nothing gated")
+            verdict = (
+                f"{len(regressions)} regression(s) beyond "
+                f"{args.tolerance:.0%} tolerance"
+                if regressions else
+                f"ok: {len(comparisons)} bench(es) within "
+                f"{args.tolerance:.0%} of baseline"
+            )
+            print(verdict)
+        return 1 if regressions else 0
+    # report
+    print(render_history_report(history, window=args.window))
+    return 0
+
+
 def _positive_int(text: str) -> int:
     """Argparse type for values that must be >= 1."""
     value = int(text)
@@ -485,6 +640,7 @@ def main(argv: list[str] | None = None) -> int:
                       help="vary the workload deterministically")
     demo.add_argument("--json", action="store_true",
                       help="emit the energy report as JSON on stdout")
+    _add_heartbeat_flags(demo)
     demo.set_defaults(func=cmd_demo)
     stats = subparsers.add_parser(
         "stats", help="run the demo workload; print metrics + kernel profile"
@@ -496,6 +652,14 @@ def main(argv: list[str] | None = None) -> int:
                        help="only show metric series with this prefix")
     stats.add_argument("--json", action="store_true",
                        help="emit profile + metrics as JSON")
+    stats.add_argument("--sample-every", type=_positive_int, default=1,
+                       metavar="N",
+                       help="wall-time one event in N (1 = every event)")
+    stats.add_argument("--folded", default=None, metavar="PATH",
+                       help="write wall-time flame-graph folded stacks")
+    stats.add_argument("--meta-trace", default=None, metavar="PATH",
+                       help="write a Chrome trace of the simulator's own "
+                            "execution (wall time per callback source)")
     stats.set_defaults(func=cmd_stats)
     trace = subparsers.add_parser(
         "trace", help="run the demo workload with tracing; export the trace"
@@ -539,6 +703,7 @@ def main(argv: list[str] | None = None) -> int:
                         default=None, metavar="N",
                         help="simulate a crash after N events "
                              f"(exit code {EXIT_KILLED}; resume later)")
+    _add_heartbeat_flags(faults)
     faults.set_defaults(func=cmd_faults)
     checkpoint = subparsers.add_parser(
         "checkpoint",
@@ -570,6 +735,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the final report (with recovery) as JSON")
     resume.add_argument("--json", action="store_true",
                         help="emit the final report as JSON on stdout")
+    _add_heartbeat_flags(resume)
     resume.set_defaults(func=cmd_resume)
     spans = subparsers.add_parser(
         "spans", help="run a span-traced pipeline; export the span tree"
@@ -598,6 +764,60 @@ def main(argv: list[str] | None = None) -> int:
     energy_report.add_argument("--json", action="store_true",
                                help="emit the attribution as JSON")
     energy_report.set_defaults(func=cmd_energy_report)
+    perf = subparsers.add_parser(
+        "perf",
+        help="performance observatory: perf-history ledger + regression gate",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _perf_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--history",
+                         default="benchmarks/out/perf_history.jsonl",
+                         metavar="PATH",
+                         help="append-only perf-history ledger (JSONL)")
+
+    def _perf_profile_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--profile",
+                         default="benchmarks/out/bench_profile.json",
+                         metavar="PATH",
+                         help="bench profile JSON to read current numbers from")
+        sub.add_argument("--sha", default=None,
+                         help="git SHA to stamp (default: auto-detect)")
+        sub.add_argument("--timestamp", type=float, default=None,
+                         help="unix timestamp to stamp (default: now; "
+                              "timestamps always enter at the process edge)")
+
+    perf_record = perf_sub.add_parser(
+        "record", help="append the bench profile's rows to the ledger"
+    )
+    _perf_common(perf_record)
+    _perf_profile_flags(perf_record)
+    perf_record.add_argument("--min-events", type=int, default=0,
+                             help="skip benches with fewer kernel events")
+    perf_compare = perf_sub.add_parser(
+        "compare",
+        help="gate current numbers against rolling baselines "
+             "(exit 1 on regression)",
+    )
+    _perf_common(perf_compare)
+    _perf_profile_flags(perf_compare)
+    perf_compare.add_argument("--tolerance", type=float, default=0.30,
+                              help="allowed fractional events/sec loss "
+                                   "before the gate fires (default 0.30)")
+    perf_compare.add_argument("--window", type=_positive_int, default=5,
+                              help="rolling-baseline window (records)")
+    perf_compare.add_argument("--min-events", type=int, default=10_000,
+                              help="only gate benches with at least this "
+                                   "many kernel events")
+    perf_compare.add_argument("--json", action="store_true",
+                              help="emit the comparison as JSON")
+    perf_report = perf_sub.add_parser(
+        "report", help="print the per-bench performance trajectory"
+    )
+    _perf_common(perf_report)
+    perf_report.add_argument("--window", type=_positive_int, default=5,
+                             help="rolling-baseline window (records)")
+    perf.set_defaults(func=cmd_perf)
     args = parser.parse_args(argv)
     return args.func(args)
 

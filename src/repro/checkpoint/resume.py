@@ -38,7 +38,7 @@ from repro.checkpoint.snapshot import CheckpointError, Snapshot, canonical_json
 from repro.checkpoint.workloads import RunContext, build_workload
 from repro.core.watchdog import RollbackSignal
 from repro.sim import us
-from repro.sim.engine import KERNEL_STATS
+from repro.sim.engine import KERNEL_STATS, replay_window
 
 
 class RecoveryReport:
@@ -119,8 +119,16 @@ class ResumableRun:
         self.rollbacks = 0
         self.attempts: list[dict] = []
         self.killed = False
+        #: Events re-executed by deterministic replay (resume/rollback) —
+        #: reconstruction, ledgered separately from fresh execution so
+        #: profiles and heartbeats never report inflated events/sec.
+        self.events_replayed = 0
+        #: Fresh events executed by this run's drive loop.
+        self.events_fresh = 0
         self._next_events_mark: int | None = None
         self._next_time_mark: int | None = None
+        self._heartbeat = None
+        self._beat_mark: int | None = None
         self._reset_marks()
 
     # -- setup record -------------------------------------------------------
@@ -182,6 +190,19 @@ class ResumableRun:
                 if not sim.step():
                     return executed
                 executed += 1
+                self.events_fresh += 1
+                heartbeat = self._heartbeat
+                if (
+                    heartbeat is not None
+                    and self.events_fresh >= self._beat_mark
+                ):
+                    heartbeat.beat(
+                        sim,
+                        events=self.events_fresh,
+                        events_replayed=self.events_replayed,
+                        checkpoints=self.captures,
+                    )
+                    self._beat_mark += heartbeat.every_events
                 if (
                     self._next_events_mark is not None
                     and sim.events_processed >= self._next_events_mark
@@ -198,20 +219,45 @@ class ResumableRun:
         finally:
             KERNEL_STATS.events_executed += executed
 
-    def run(self, kill_after_events: int | None = None) -> RecoveryReport:
-        """Run to completion (or the kill point), recovering as needed."""
-        while True:
-            try:
-                self._drive(kill_after_events)
-            except RollbackSignal as signal:
-                if self.rollbacks >= self.max_rollbacks:
-                    raise CheckpointError(
-                        f"gave up after {self.rollbacks} rollbacks: "
-                        f"{signal.reason}"
-                    ) from signal
-                self._rollback(signal)
-                continue
-            return self.report("killed" if self.killed else "completed")
+    def run(
+        self,
+        kill_after_events: int | None = None,
+        heartbeat=None,
+    ) -> RecoveryReport:
+        """Run to completion (or the kill point), recovering as needed.
+
+        With a :class:`~repro.obs.perf.RunHeartbeat`, the drive loop
+        emits a progress line every ``heartbeat.every_events`` fresh
+        events (replayed events are reported separately, never counted
+        as progress) and a final line when the run ends.
+        """
+        if heartbeat is not None:
+            self._heartbeat = heartbeat
+            self._beat_mark = self.events_fresh + heartbeat.every_events
+        try:
+            while True:
+                try:
+                    self._drive(kill_after_events)
+                except RollbackSignal as signal:
+                    if self.rollbacks >= self.max_rollbacks:
+                        raise CheckpointError(
+                            f"gave up after {self.rollbacks} rollbacks: "
+                            f"{signal.reason}"
+                        ) from signal
+                    self._rollback(signal)
+                    continue
+                if self._heartbeat is not None:
+                    self._heartbeat.beat(
+                        self.context.system.sim,
+                        events=self.events_fresh,
+                        events_replayed=self.events_replayed,
+                        checkpoints=self.captures,
+                        final=True,
+                    )
+                return self.report("killed" if self.killed else "completed")
+        finally:
+            if self._heartbeat is not None:
+                self._heartbeat.close()
 
     # -- rollback recovery --------------------------------------------------
 
@@ -267,9 +313,17 @@ class ResumableRun:
         self._reset_marks()
 
     def _replay_to(self, snapshot: Snapshot) -> None:
-        """Deterministically replay the fresh context to ``snapshot``."""
+        """Deterministically replay the fresh context to ``snapshot``.
+
+        Replayed events are tagged as such in the process-wide kernel
+        ledger (``KERNEL_STATS.events_replayed``) and in
+        :attr:`events_replayed` — they reconstruct state the run already
+        paid for, so they never count as fresh throughput.
+        """
         sim = self.context.system.sim
-        replayed = sim.run(max_events=snapshot.events_processed)
+        with replay_window():
+            replayed = sim.run(max_events=snapshot.events_processed)
+        self.events_replayed += replayed
         if replayed != snapshot.events_processed:
             raise CheckpointError(
                 f"replay drained after {replayed} events; bundle was "
@@ -328,6 +382,8 @@ class ResumableRun:
             "final": {
                 "time_ps": sim.now,
                 "events_processed": sim.events_processed,
+                "events_fresh": self.events_fresh,
+                "events_replayed": self.events_replayed,
                 "delivered": len(context.received),
                 "delivered_ok": (
                     context.received == context.expected

@@ -198,13 +198,15 @@ class SwallowSystem:
 
         return attribute_energy(self, self.span_recorder)
 
-    def profile(self):
+    def profile(self, **profiler_options):
         """Profile the simulation kernel; see :meth:`Simulator.profile`.
 
         The system's attached tracer (if any) is passed along so the
-        profile surfaces flight-recorder ring-buffer evictions.
+        profile surfaces flight-recorder ring-buffer evictions.  Keyword
+        arguments configure the profiler (``wall_sample_every``,
+        ``depth_timeline_every``, ``meta_capacity``).
         """
-        return self.sim.profile(tracer=self.tracer)
+        return self.sim.profile(tracer=self.tracer, **profiler_options)
 
     # -- checkpointing (see repro.checkpoint) ------------------------------------
 

@@ -8,9 +8,12 @@ Three views into a running (or finished) simulation:
 * :mod:`repro.obs.trace_export` — :class:`~repro.sim.tracing.TraceRecorder`
   exports to JSONL and Chrome trace-event format (Perfetto,
   ``chrome://tracing``);
-* :mod:`repro.obs.profiling` — kernel self-profiling: events per
-  callback source, queue depth high-water mark, sim-time/wall-time
-  ratio.
+* :mod:`repro.obs.profiling` — kernel self-profiling: events and wall
+  time per callback source, queue-op accounting, folded flame stacks,
+  sim-time/wall-time ratio;
+* :mod:`repro.obs.perf` — the performance observatory: an append-only
+  perf-history ledger with a rolling-baseline regression gate, and
+  :class:`~repro.obs.perf.RunHeartbeat` streaming progress snapshots.
 
 The assembled platform wires everything up:
 ``SwallowSystem(...).metrics`` is a live registry,
@@ -33,42 +36,74 @@ from repro.obs.energyscope import (
     EnergyAttribution,
     attribute_energy,
 )
-from repro.obs.profiling import SimProfile, SimProfiler, callback_source
+from repro.obs.perf import (
+    WALL_FIELDS,
+    Comparison,
+    PerfHistory,
+    PerfRecord,
+    RunHeartbeat,
+    compare_against_history,
+    config_digest,
+    heartbeat_core,
+    records_from_profile,
+    render_history_report,
+)
+from repro.obs.profiling import (
+    KERNEL_SOURCE,
+    SimProfile,
+    SimProfiler,
+    callback_source,
+)
 from repro.obs.spans import Span, SpanMessage, SpanRecorder
 from repro.obs.trace_export import (
     chrome_trace_json,
+    profile_chrome_trace,
     source_category,
     to_chrome_trace,
     to_jsonl,
     write_chrome_trace,
     write_jsonl,
+    write_profile_chrome_trace,
 )
 from repro.obs.watch import PowerWatchpoint, WatchEvent
 
 __all__ = [
     "AttributionRow",
+    "Comparison",
     "Counter",
     "DEFAULT_BUCKETS",
     "EnergyAttribution",
     "Gauge",
     "Histogram",
+    "KERNEL_SOURCE",
     "Metric",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "PerfHistory",
+    "PerfRecord",
     "PowerWatchpoint",
+    "RunHeartbeat",
     "SimProfile",
     "SimProfiler",
     "Span",
     "SpanMessage",
     "SpanRecorder",
+    "WALL_FIELDS",
     "WatchEvent",
     "attribute_energy",
     "callback_source",
     "chrome_trace_json",
+    "compare_against_history",
+    "config_digest",
+    "heartbeat_core",
+    "profile_chrome_trace",
+    "records_from_profile",
+    "render_history_report",
     "series_key",
     "source_category",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",
     "write_jsonl",
+    "write_profile_chrome_trace",
 ]

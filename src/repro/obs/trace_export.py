@@ -22,6 +22,7 @@ import json
 from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:
+    from repro.obs.profiling import SimProfile
     from repro.obs.spans import SpanRecorder
     from repro.sim.tracing import TraceRecord
 
@@ -33,6 +34,7 @@ CATEGORY_PIDS: dict[str, int] = {
     "measurement": 4,
     "other": 5,
     "spans": 6,
+    "profiler": 7,
 }
 
 
@@ -220,3 +222,51 @@ def write_chrome_trace(
     """Write the Chrome trace-event export to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(chrome_trace_json(records, spans=spans))
+
+
+# ---------------------------------------------------------------------------
+# Meta-trace: the simulator's *own* execution as a Chrome trace
+# ---------------------------------------------------------------------------
+
+
+def profile_chrome_trace(profile: "SimProfile") -> dict[str, Any]:
+    """A Chrome trace of the *simulator's* execution, from a profile.
+
+    Every wall-timed event sample in the profile (see
+    ``SimProfile.meta_samples``) becomes a complete slice (``"ph": "X"``)
+    on the track of its callback source, inside one ``swallow.profiler``
+    process.  Timestamps are **wall-clock** microseconds since the
+    profiling window opened — unlike every other export in this module,
+    this trace shows where the host machine's time went, so it is *not*
+    byte-stable across runs and never enters a determinism digest.
+    """
+    pid = CATEGORY_PIDS["profiler"]
+    sources = sorted({source for _, _, source in profile.meta_samples})
+    tids = {source: tid for tid, source in enumerate(sources)}
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "swallow.profiler"},
+    }]
+    for source in sources:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": tids[source], "args": {"name": source},
+        })
+    for start_us, dur_us, source in profile.meta_samples:
+        events.append({
+            "name": source,
+            "cat": "profiler",
+            "ph": "X",
+            "ts": start_us,
+            "dur": dur_us,
+            "pid": pid,
+            "tid": tids[source],
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_profile_chrome_trace(profile: "SimProfile", path) -> None:
+    """Write the simulator meta-trace (see :func:`profile_chrome_trace`)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(profile_chrome_trace(profile), sort_keys=True,
+                            separators=(",", ":")))

@@ -14,6 +14,7 @@ from __future__ import annotations
 import heapq
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 if TYPE_CHECKING:
@@ -31,13 +32,37 @@ class KernelStats:
 
     The benchmark harness reads this to attribute events-per-second to
     each bench without instrumenting every ``Simulator`` it creates.
+
+    ``events_replayed`` counts events re-executed inside a
+    :func:`replay_window` — deterministic replay during a checkpoint
+    restore or rollback.  Replay is reconstruction, not fresh work, so
+    it is ledgered separately and never inflates events-per-second.
     """
 
     events_executed: int = 0
+    events_replayed: int = 0
 
 
 #: The interpreter-wide kernel ledger (see :class:`KernelStats`).
 KERNEL_STATS = KernelStats()
+
+
+@contextmanager
+def replay_window() -> Iterator[None]:
+    """Attribute kernel events executed inside the block to *replay*.
+
+    Everything the block adds to ``KERNEL_STATS.events_executed`` is
+    moved to ``KERNEL_STATS.events_replayed`` on exit, so profiles,
+    heartbeats and the bench harness can report replayed events
+    separately instead of counting reconstruction as fresh throughput.
+    """
+    before = KERNEL_STATS.events_executed
+    try:
+        yield
+    finally:
+        replayed = KERNEL_STATS.events_executed - before
+        KERNEL_STATS.events_executed = before
+        KERNEL_STATS.events_replayed += replayed
 
 
 @dataclass(order=True)
@@ -143,8 +168,6 @@ class Simulator:
         depth = len(self._queue)
         if depth > self._queue_hwm:
             self._queue_hwm = depth
-        if self._profiler is not None:
-            self._profiler.on_queue_depth(depth)
         return EventHandle(event)
 
     def next_event_time(self) -> int | None:
@@ -158,6 +181,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                if self._profiler is not None:
+                    self._profiler.on_cancelled_pop()
                 continue
             return head.time
         return None
@@ -166,14 +191,21 @@ class Simulator:
         """Run the single next event.  Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            profiler = self._profiler
             if event.cancelled:
+                if profiler is not None:
+                    profiler.on_cancelled_pop()
                 continue
             self._now = event.time
             self._events_processed += 1
             event.executed = True
-            if self._profiler is not None:
-                self._profiler.on_event(event.time, event.callback)
-            event.callback()
+            if profiler is None:
+                event.callback()
+            elif profiler.on_event(event.callback):
+                event.callback()
+                profiler.after_event()
+            else:
+                event.callback()
             return True
         return False
 
@@ -187,13 +219,79 @@ class Simulator:
         self._running = True
         executed = 0
         try:
-            while self.step():
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            if self._profiler is not None and max_events is None:
+                executed = self._run_profiled()
+            else:
+                while self.step():
+                    executed += 1
+                    if max_events is not None and executed >= max_events:
+                        break
         finally:
             self._running = False
             KERNEL_STATS.events_executed += executed
+        return executed
+
+    def _run_profiled(self) -> int:
+        """Drain the queue with the profiler's hot path hoisted.
+
+        Identical semantics to ``while self.step(): ...`` with a
+        profiler installed, but every per-event attribute lookup (the
+        queue, the profiler's key buffer, the sampling stride, the
+        bound hook methods) is lifted into locals once.  The observed
+        kernel's per-event cost is what the observer-overhead budget
+        measures (benchmarks/bench_observer_overhead.py), and a Python
+        attribute load per event is a measurable slice of it.  Keep in
+        sync with step().
+        """
+        queue = self._queue
+        profiler = self._profiler
+        buf = profiler._buf  # retained across folds: _fold() clears in place
+        stride = profiler._sample_every
+        after_event = profiler.after_event
+        on_cancelled = profiler.on_cancelled_pop
+        heappop = heapq.heappop
+        executed = 0
+        next_sample = stride
+        processed_before = self._events_processed
+        events_before = profiler._events
+        # Run-length state mirrors SimProfiler._rle_key/_rle_count so
+        # step()-driven and run()-driven windows share one ledger.
+        last_key = profiler._rle_key
+        run_len = profiler._rle_count
+        try:
+            while queue:
+                event = heappop(queue)
+                if event.cancelled:
+                    on_cancelled()
+                    continue
+                self._now = event.time
+                event.executed = True
+                executed += 1
+                callback = event.callback
+                try:
+                    key = callback.__code__
+                except AttributeError:
+                    key = callback
+                if key is last_key:
+                    run_len += 1
+                else:
+                    if run_len:
+                        buf.append((last_key, run_len))
+                    last_key = key
+                    run_len = 1
+                if executed != next_sample:
+                    callback()
+                else:
+                    next_sample = executed + stride
+                    profiler._current_key = key
+                    profiler._event_start = perf_counter()
+                    callback()
+                    after_event()
+        finally:
+            self._events_processed = processed_before + executed
+            profiler._events = events_before + executed
+            profiler._rle_key = last_key
+            profiler._rle_count = run_len
         return executed
 
     def run_until(self, time_ps: int) -> int:
@@ -214,6 +312,8 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    if self._profiler is not None:
+                        self._profiler.on_cancelled_pop()
                     continue
                 if head.time > time_ps:
                     break
@@ -234,7 +334,7 @@ class Simulator:
     # ------------------------------------------------------------------
 
     @contextmanager
-    def profile(self, tracer=None) -> "Iterator[SimProfile]":
+    def profile(self, tracer=None, **profiler_options: Any) -> "Iterator[SimProfile]":
         """Profile the simulator for the duration of a ``with`` block.
 
         Yields a :class:`~repro.obs.profiling.SimProfile` that is filled
@@ -250,18 +350,28 @@ class Simulator:
         reports how many trace records the recorder's ring buffer
         evicted during the window (``trace_dropped_events``), so
         flight-recorder truncation is visible instead of silent.
+        Extra keyword arguments configure the
+        :class:`~repro.obs.profiling.SimProfiler` (e.g.
+        ``wall_sample_every`` for sparser wall-time sampling).
         """
         from repro.obs.profiling import SimProfiler
 
-        profiler = SimProfiler()
+        profiler = SimProfiler(**profiler_options)
+        profiler.attach_queue(self._queue)
         dropped_before = tracer.dropped if tracer is not None else 0
+        seq_before = self._seq
+        now_before = self._now
         previous = self._profiler
         self._profiler = profiler
         try:
             yield profiler.profile
         finally:
             self._profiler = previous
-            profiler.finish()
+            profiler.finish(
+                queue_pushes=self._seq - seq_before,
+                queue_depth_high_water=self._queue_hwm,
+                sim_time_ps=self._now - now_before,
+            )
             if tracer is not None:
                 profiler.profile.trace_dropped_events = (
                     tracer.dropped - dropped_before

@@ -48,13 +48,28 @@ class TraceRecorder:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._kinds = set(kinds) if kinds is not None else None
         self._capacity = capacity
-        self._records: deque[TraceRecord] = deque(maxlen=capacity)
-        self.dropped = 0
+        # Records are held as raw (time_ps, source, kind, detail) tuples
+        # and materialised into TraceRecord objects only on access: the
+        # record() hot path runs once per traced occurrence, so a tuple
+        # append keeps observer overhead within the profiler's budget
+        # (see benchmarks/bench_observer_overhead.py).
+        self._records: deque[tuple] = deque(maxlen=capacity)
+        self._appended = 0
 
     @property
     def capacity(self) -> int | None:
         """Maximum records retained (None = unbounded)."""
         return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Ring-buffer evictions since creation (or the last clear()).
+
+        Derived from the append count rather than tracked per call: the
+        deque's ``maxlen`` already evicts the oldest record on append,
+        so the hot path never branches on capacity.
+        """
+        return max(0, self._appended - len(self._records))
 
     def record(self, time_ps: int, source: str, kind: str, *detail: Any) -> None:
         """Append a record (subject to the kind filter and capacity).
@@ -64,23 +79,22 @@ class TraceRecorder:
         """
         if self._kinds is not None and kind not in self._kinds:
             return
-        if self._capacity is not None and len(self._records) >= self._capacity:
-            self.dropped += 1
-        self._records.append(TraceRecord(time_ps, source, kind, detail))
+        self._appended += 1
+        self._records.append((time_ps, source, kind, detail))
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return (TraceRecord(*raw) for raw in self._records)
 
     def __getitem__(self, index: int) -> TraceRecord:
-        return self._records[index]
+        return TraceRecord(*self._records[index])
 
     @property
     def records(self) -> list[TraceRecord]:
         """All collected records, in time order."""
-        return list(self._records)
+        return [TraceRecord(*raw) for raw in self._records]
 
     def filter(
         self,
@@ -90,11 +104,12 @@ class TraceRecorder:
     ) -> list[TraceRecord]:
         """Records matching all the given criteria."""
         out = []
-        for rec in self._records:
-            if kind is not None and rec.kind != kind:
+        for raw in self._records:
+            if kind is not None and raw[2] != kind:
                 continue
-            if source is not None and rec.source != source:
+            if source is not None and raw[1] != source:
                 continue
+            rec = TraceRecord(*raw)
             if predicate is not None and not predicate(rec):
                 continue
             out.append(rec)
@@ -113,14 +128,14 @@ class TraceRecorder:
     def digest(self) -> str:
         """A stable hash of the full trace — the determinism fingerprint."""
         hasher = hashlib.sha256()
-        for rec in self._records:
-            hasher.update(repr((rec.time_ps, rec.source, rec.kind, rec.detail)).encode())
+        for raw in self._records:
+            hasher.update(repr(raw).encode())
         return hasher.hexdigest()
 
     def clear(self) -> None:
         """Drop all records (capacity and filters are kept)."""
         self._records.clear()
-        self.dropped = 0
+        self._appended = 0
 
     # -- export (see :mod:`repro.obs.trace_export`) -------------------------
 
@@ -128,7 +143,7 @@ class TraceRecorder:
         """The trace as JSON Lines (one object per record)."""
         from repro.obs.trace_export import to_jsonl
 
-        return to_jsonl(self._records)
+        return to_jsonl(self.records)
 
     def to_chrome_trace(self, spans=None) -> dict:
         """The trace as a Chrome trace-event document (Perfetto-loadable).
@@ -138,13 +153,13 @@ class TraceRecorder:
         """
         from repro.obs.trace_export import to_chrome_trace
 
-        return to_chrome_trace(self._records, spans=spans)
+        return to_chrome_trace(self.records, spans=spans)
 
     def to_chrome_trace_json(self, spans=None) -> str:
         """The Chrome trace document as canonical, byte-stable JSON."""
         from repro.obs.trace_export import chrome_trace_json
 
-        return chrome_trace_json(self._records, spans=spans)
+        return chrome_trace_json(self.records, spans=spans)
 
     def register_metrics(self, registry) -> None:
         """Publish recorder health: the lazy ``trace.dropped_events``
