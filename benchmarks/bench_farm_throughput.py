@@ -1,0 +1,89 @@
+"""Bench: campaign farm throughput, cold versus cached.
+
+The farm's pitch is that repeated design-space sweeps cost one
+simulation per *changed* configuration.  We run the same DSE matrix
+(topology x frequency x seeds) twice through a two-worker pool: a cold
+pass that simulates every job, and a warm pass — fresh campaign
+directory, shared result cache — that must complete every job as a
+content-addressed cache hit.  The gate is the acceptance criterion
+from the farm's introduction: the cached pass is at least **5x**
+faster wall-to-wall.  Results also land as JSON in
+``benchmarks/out/farm_throughput.json``.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.farm import JobQueue, MatrixSpec, ResultCache, WorkerPool
+
+OUT_DIR = Path(__file__).parent / "out"
+
+MATRIX = MatrixSpec(
+    workload="faults_stream",
+    base={"words": 6, "drop_rate": 0.05},
+    sweep={
+        "slices_x": [1, 2],
+        "freq_mhz": [500, 250],
+        "seed": [0, 1, 2],
+    },
+)
+
+WORKERS = 2
+
+
+def run_pass(root: Path, name: str, cache: ResultCache) -> dict:
+    queue = JobQueue(root / name)
+    queue.submit_all(MATRIX.jobs())
+    pool = WorkerPool(queue, cache, num_workers=WORKERS,
+                      checkpoint_every=500)
+    report = pool.run().to_dict()
+    return {
+        "pass": name,
+        "jobs": report["total_jobs"],
+        "done": report["counts"]["done"],
+        "cache_hits": report["cache"]["hits"],
+        "wall_s": round(pool.wall_s, 6),
+        "jobs_per_sec": round(report["total_jobs"] / pool.wall_s, 2),
+    }
+
+
+def run(report_table):
+    with tempfile.TemporaryDirectory(prefix="bench_farm_") as text:
+        root = Path(text)
+        cache = ResultCache(root / "cache")
+        cold = run_pass(root, "cold", cache)
+        warm = run_pass(root, "warm", cache)
+    speedup = cold["wall_s"] / warm["wall_s"] if warm["wall_s"] > 0 else 0.0
+    report_table(
+        "farm_throughput",
+        f"Campaign farm throughput ({MATRIX.num_jobs} jobs, "
+        f"{WORKERS} workers)",
+        ["pass", "jobs", "cache hits", "wall s", "jobs/s"],
+        [[p["pass"], p["jobs"], p["cache_hits"], p["wall_s"],
+          p["jobs_per_sec"]] for p in (cold, warm)],
+        notes=f"Warm pass: fresh campaign, shared result cache — every "
+              f"job is a content-addressed hit, byte-identical to "
+              f"re-simulating.  Speedup {speedup:.1f}x (gate: >= 5x).",
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "farm_throughput.json").write_text(
+        json.dumps({
+            "matrix": MATRIX.to_dict(),
+            "workers": WORKERS,
+            "passes": [cold, warm],
+            "cached_speedup": round(speedup, 2),
+        }, indent=2, sort_keys=True) + "\n"
+    )
+    return cold, warm, speedup
+
+
+def test_farm_throughput(benchmark, report_table):
+    cold, warm, speedup = benchmark.pedantic(
+        run, args=(report_table,), rounds=1, iterations=1
+    )
+    assert cold["done"] == MATRIX.num_jobs and cold["cache_hits"] == 0
+    assert warm["done"] == MATRIX.num_jobs
+    assert warm["cache_hits"] == MATRIX.num_jobs  # every job a hit
+    # The acceptance gate: a cached sweep is at least 5x faster.
+    assert speedup >= 5.0, f"cached speedup only {speedup:.1f}x"

@@ -28,6 +28,14 @@ Commands:
   flow arrows);
 * ``energy-report`` — run the same pipeline and print the per-span
   energy attribution (``--folded`` writes flame-graph folded stacks);
+* ``farm`` — the campaign farm: ``submit`` expands a matrix spec
+  (sweep over topology x frequency x seeds) into content-addressed
+  jobs, ``run`` fans them out across worker processes with per-job
+  checkpoints and heartbeats (``--preempt JOB@N`` kills an attempt
+  mid-run; it resumes byte-identically on another worker), ``status``
+  shows the live heartbeat-fed progress view, and ``report`` prints
+  the aggregated campaign (unchanged configs are served from the
+  result cache instead of re-simulating);
 * ``perf`` — the kernel performance observatory: ``record`` appends
   bench-profile rows to the append-only perf-history ledger,
   ``compare`` gates current numbers against the ledger's rolling
@@ -44,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -182,6 +191,20 @@ def _heartbeat(args: argparse.Namespace, metrics=None):
                         metrics=metrics)
 
 
+def _heartbeat_summary(args: argparse.Namespace, heartbeat) -> None:
+    """The shared post-run heartbeat summary line.
+
+    One line, one place: every command that takes the ``--heartbeat-*``
+    flags reports the stream the same way (suppressed under ``--json``,
+    where stdout is machine-readable).
+    """
+    if heartbeat is None or not args.heartbeat_out:
+        return
+    if getattr(args, "json", False):
+        return
+    print(f"wrote {heartbeat.beats} heartbeats to {args.heartbeat_out}")
+
+
 def _add_heartbeat_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--heartbeat-every", type=_positive_int,
                         default=None, metavar="N",
@@ -200,8 +223,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     heartbeat = _heartbeat(args, metrics=system.metrics)
     if heartbeat is not None:
         heartbeat.drive(system.sim)
-        if args.heartbeat_out and not args.json:
-            print(f"wrote {heartbeat.beats} heartbeats to {args.heartbeat_out}")
+        _heartbeat_summary(args, heartbeat)
     else:
         system.run()
     report = system.energy_report()
@@ -322,8 +344,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(snapshot.as_dict(), sort_keys=True))
         print(f"wrote metrics snapshot to {args.metrics_out}")
-    if heartbeat is not None and args.heartbeat_out and not args.json:
-        print(f"wrote {heartbeat.beats} heartbeats to {args.heartbeat_out}")
+    _heartbeat_summary(args, heartbeat)
     delivered_ok = context.received == context.expected
     if args.json:
         document = {"delivered_ok": delivered_ok, "report": report.to_dict()}
@@ -393,6 +414,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
     run = ResumableRun.resume(snapshot, policy=policy)
     heartbeat = _heartbeat(args, metrics=run.context.system.metrics)
     recovery = run.run(heartbeat=heartbeat)
+    _heartbeat_summary(args, heartbeat)
     document = run.final_report()
     document["recovery"] = recovery.to_dict()
     if args.report_out:
@@ -602,6 +624,101 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _farm_handles(args: argparse.Namespace):
+    """(queue, cache) from the shared farm directory flags.
+
+    The cache directory defaults to ``<dir>/cache`` but is its own
+    flag: a cache shared across farm directories is how repeated
+    sweeps (and CI's second pass) hit instead of re-simulating.
+    """
+    from repro.farm import JobQueue, ResultCache
+
+    cache_dir = args.cache_dir if args.cache_dir else f"{args.dir}/cache"
+    return JobQueue(args.dir), ResultCache(cache_dir)
+
+
+def _parse_preempt(specs: list[str]) -> dict[str, int]:
+    """``JOB_ID@EVENTS`` flags -> {job_id: events}."""
+    preempt: dict[str, int] = {}
+    for text in specs or ():
+        job_id, _, events = text.partition("@")
+        if not job_id or not events.isdigit() or int(events) < 1:
+            raise SystemExit(
+                f"farm: bad --preempt {text!r} (want JOB_ID@EVENTS)"
+            )
+        preempt[job_id] = int(events)
+    return preempt
+
+
+def cmd_farm(args: argparse.Namespace) -> int:
+    from repro.farm import (
+        MatrixSpec,
+        WorkerPool,
+        farm_progress,
+        farm_report,
+        render_progress,
+    )
+
+    queue, cache = _farm_handles(args)
+    if args.farm_command == "submit":
+        matrix = MatrixSpec.from_file(args.matrix)
+        before = len(queue)
+        records = queue.submit_all(matrix.jobs())
+        print(f"submitted {len(records) - before} new / {len(records)} total "
+              f"jobs to {queue.directory} "
+              f"({matrix.workload}, {len(matrix.sweep)} sweep axes)")
+        for record in records[:args.show]:
+            print(f"  {record.job_id}  {json.dumps(record.spec.params, sort_keys=True)}")
+        if len(records) > args.show:
+            print(f"  ... and {len(records) - args.show} more")
+        return 0
+    if args.farm_command == "run":
+        if args.matrix:
+            queue.submit_all(MatrixSpec.from_file(args.matrix).jobs())
+        if not len(queue):
+            print("farm run: queue is empty; submit a matrix first",
+                  file=sys.stderr)
+            return 2
+        pool = WorkerPool(
+            queue, cache, num_workers=args.workers,
+            checkpoint_every=args.checkpoint_every, retain=args.retain,
+            heartbeat_every=args.heartbeat_every,
+        )
+        report = pool.run(preempt=_parse_preempt(args.preempt))
+        document = report.to_dict()
+        if args.report_out:
+            with open(args.report_out, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+        if args.json:
+            print(json.dumps(document, sort_keys=True))
+        else:
+            print(report.render())
+            print(f"  wall time         {pool.wall_s:.2f} s "
+                  f"({document['total_jobs'] / pool.wall_s:.1f} jobs/s)")
+            if args.report_out:
+                print(f"wrote farm report to {args.report_out}")
+        return 0 if document["counts"]["failed"] == 0 else 1
+    if args.farm_command == "status":
+        progress = farm_progress(queue, queue.directory / "work")
+        if args.json:
+            print(json.dumps(progress, sort_keys=True))
+        else:
+            print(render_progress(progress))
+        return 0
+    # report
+    report = farm_report(queue, cache, queue.directory / "work")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+        if args.out:
+            print(f"wrote farm report to {args.out}")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     """Argparse type for values that must be >= 1."""
     value = int(text)
@@ -764,6 +881,70 @@ def main(argv: list[str] | None = None) -> int:
     energy_report.add_argument("--json", action="store_true",
                                help="emit the attribution as JSON")
     energy_report.set_defaults(func=cmd_energy_report)
+    farm = subparsers.add_parser(
+        "farm",
+        help="campaign farm: queue simulation matrices, fan out across "
+             "worker processes, cache results by config digest",
+    )
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+
+    def _farm_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dir", default="farm", metavar="DIR",
+                         help="farm directory (durable queue + work dirs)")
+        sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="content-addressed result cache "
+                              "(default: DIR/cache; share it across farm "
+                              "directories to reuse results)")
+
+    farm_submit = farm_sub.add_parser(
+        "submit", help="expand a matrix spec and enqueue its jobs"
+    )
+    _farm_common(farm_submit)
+    farm_submit.add_argument("--matrix", required=True, metavar="FILE",
+                             help="matrix spec JSON "
+                                  "(workload + base params + sweep axes)")
+    farm_submit.add_argument("--show", type=int, default=8,
+                             help="job rows to print")
+    farm_run = farm_sub.add_parser(
+        "run", help="drive every queued job to completion across workers"
+    )
+    _farm_common(farm_run)
+    farm_run.add_argument("--matrix", default=None, metavar="FILE",
+                          help="also submit this matrix before running")
+    farm_run.add_argument("--workers", type=_positive_int, default=2,
+                          help="worker processes (default 2)")
+    farm_run.add_argument("--checkpoint-every", type=_positive_int,
+                          default=2000, metavar="N",
+                          help="per-job checkpoint cadence (kernel events)")
+    farm_run.add_argument("--heartbeat-every", type=_positive_int,
+                          default=2000, metavar="N",
+                          help="per-job heartbeat cadence (kernel events)")
+    farm_run.add_argument("--retain", type=_positive_int, default=3,
+                          help="checkpoints kept per job")
+    farm_run.add_argument("--preempt", action="append", default=None,
+                          metavar="JOB_ID@EVENTS",
+                          help="kill that job's next attempt after N fresh "
+                               "events (exit 75); it resumes on another "
+                               "worker — repeatable")
+    farm_run.add_argument("--report-out", default=None, metavar="PATH",
+                          help="write the farm report as canonical JSON")
+    farm_run.add_argument("--json", action="store_true",
+                          help="emit the farm report as JSON on stdout")
+    farm_status = farm_sub.add_parser(
+        "status", help="live campaign view (queue states + heartbeats)"
+    )
+    _farm_common(farm_status)
+    farm_status.add_argument("--json", action="store_true",
+                             help="emit the progress view as JSON")
+    farm_report_cmd = farm_sub.add_parser(
+        "report", help="aggregate the campaign into a farm report"
+    )
+    _farm_common(farm_report_cmd)
+    farm_report_cmd.add_argument("--out", default=None, metavar="PATH",
+                                 help="write the report as canonical JSON")
+    farm_report_cmd.add_argument("--json", action="store_true",
+                                 help="emit the report as JSON on stdout")
+    farm.set_defaults(func=cmd_farm)
     perf = subparsers.add_parser(
         "perf",
         help="performance observatory: perf-history ledger + regression gate",
@@ -819,7 +1000,15 @@ def main(argv: list[str] | None = None) -> int:
                              help="rolling-baseline window (records)")
     perf.set_defaults(func=cmd_perf)
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # A downstream pager/head closed the pipe mid-print: the Unix
+        # convention is a quiet exit, not a traceback.  Detach stdout
+        # so interpreter shutdown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":

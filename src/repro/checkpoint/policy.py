@@ -12,10 +12,17 @@ run and an uninterrupted run execute the exact same event sequence.
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.checkpoint.snapshot import CheckpointError, Snapshot
+
+#: A well-formed bundle name: zero-padded event count, so lexicographic
+#: order is capture order.  Anything else in the store directory is an
+#: orphan (a torn temp file, a hand-renamed bundle) and never part of
+#: the retained set.
+BUNDLE_NAME = re.compile(r"^checkpoint-(\d{12})\.json$")
 
 
 @dataclass(frozen=True)
@@ -48,8 +55,13 @@ class CheckpointPolicy:
 class CheckpointStore:
     """A directory holding the bounded retained set of bundles.
 
-    Bundles are named ``checkpoint-<events>.json`` so lexicographic
-    order is capture order; :meth:`add` prunes beyond ``retain``.
+    Bundles are named ``checkpoint-<events>.json`` (:data:`BUNDLE_NAME`)
+    so lexicographic order is capture order; :meth:`add` writes
+    atomically (temp file + ``os.replace``) and prunes beyond
+    ``retain``.  Opening a store also prunes: orphans left by a killed
+    writer and any surplus from a previously larger ``retain`` are
+    removed, so the directory always honours the current bound —
+    exactly what a farm worker resuming a migrated job relies on.
     """
 
     def __init__(self, directory, retain: int = 3):
@@ -58,19 +70,47 @@ class CheckpointStore:
         self.directory = Path(directory)
         self.retain = retain
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.prune()
 
     def paths(self) -> list[Path]:
-        """Retained bundle paths, oldest first."""
-        return sorted(self.directory.glob("checkpoint-*.json"))
+        """Retained bundle paths, oldest first (well-formed names only)."""
+        return sorted(
+            path for path in self.directory.iterdir()
+            if BUNDLE_NAME.match(path.name)
+        )
+
+    def orphans(self) -> list[Path]:
+        """Files in the store that are not well-formed bundles.
+
+        Torn ``.tmp`` partials from a writer killed mid-replace and
+        malformed ``checkpoint-*`` names (which would otherwise sort
+        unpredictably against the zero-padded retained set) — never
+        anything that does not look checkpoint-related, so a store can
+        share a directory with unrelated files without losing them.
+        """
+        return sorted(
+            path for path in self.directory.iterdir()
+            if not BUNDLE_NAME.match(path.name)
+            and (path.name.startswith("checkpoint-")
+                 or path.name.endswith(".tmp"))
+        )
+
+    def prune(self) -> list[Path]:
+        """Delete orphans and beyond-``retain`` bundles; returns them."""
+        doomed = self.orphans() + self.paths()[:-self.retain]
+        for path in doomed:
+            os.remove(path)
+        return doomed
 
     def add(self, snapshot: Snapshot) -> Path:
-        """Persist ``snapshot`` and prune the oldest beyond ``retain``."""
+        """Atomically persist ``snapshot``; prune beyond ``retain``."""
         path = self.directory / (
             f"checkpoint-{snapshot.events_processed:012d}.json"
         )
-        snapshot.save(path)
-        for stale in self.paths()[:-self.retain]:
-            os.remove(stale)
+        tmp = path.with_name(path.name + ".tmp")
+        snapshot.save(tmp)
+        os.replace(tmp, path)
+        self.prune()
         return path
 
     def latest(self) -> Snapshot:

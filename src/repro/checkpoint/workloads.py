@@ -108,6 +108,24 @@ def build_workload(name: str, params: dict | None = None) -> RunContext:
 # ---------------------------------------------------------------------------
 
 
+def _system_kwargs(params: dict) -> dict:
+    """`SwallowSystem` construction kwargs shared by every builder.
+
+    ``freq_mhz`` makes core frequency a first-class sweepable parameter
+    (the farm's DSE matrices sweep topology x frequency x seeds); it is
+    part of the params dict, hence of the job's content digest.
+    """
+    kwargs = {
+        "slices_x": int(params.get("slices_x", 1)),
+        "slices_y": int(params.get("slices_y", 1)),
+    }
+    if params.get("freq_mhz") is not None:
+        from repro.sim import Frequency
+
+        kwargs["frequency"] = Frequency.mhz(float(params["freq_mhz"]))
+    return kwargs
+
+
 def _stream_route(system):
     """The canonical one-hop stream route used by the fault workloads."""
     from repro.network.routing import Layer
@@ -125,10 +143,7 @@ def _demo(params: dict) -> RunContext:
     from repro.__main__ import _demo_workload
     from repro.core.platform import SwallowSystem
 
-    system = SwallowSystem(
-        slices_x=int(params.get("slices_x", 1)),
-        slices_y=int(params.get("slices_y", 1)),
-    )
+    system = SwallowSystem(**_system_kwargs(params))
     received = _demo_workload(system, seed=params.get("seed"))
     return RunContext(system=system, received=received)
 
@@ -147,10 +162,7 @@ def _faults_stream(params: dict) -> RunContext:
     from repro.faults.campaign import FaultCampaign
 
     words = int(params.get("words", 16))
-    system = SwallowSystem(
-        slices_x=int(params.get("slices_x", 1)),
-        slices_y=int(params.get("slices_y", 1)),
-    )
+    system = SwallowSystem(**_system_kwargs(params))
     node_a, node_b, cores = _stream_route(system)
     channel = ReliableChannel.between(cores[node_a], cores[node_b])
     received: list[int] = []
@@ -213,10 +225,7 @@ def _watchdog_stream(params: dict) -> RunContext:
     from repro.faults.campaign import FaultCampaign
 
     words = int(params.get("words", 24))
-    system = SwallowSystem(
-        slices_x=int(params.get("slices_x", 1)),
-        slices_y=int(params.get("slices_y", 1)),
-    )
+    system = SwallowSystem(**_system_kwargs(params))
     node_a, node_b, cores = _stream_route(system)
     channel = ReliableChannel.between(
         cores[node_a], cores[node_b],

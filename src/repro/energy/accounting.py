@@ -36,23 +36,45 @@ class CoreEnergyTracker:
         self.last_window_power_mw = core_power_mw(core.frequency.megahertz, 0.0)
         core.frequency_listeners.append(lambda _core: self.update())
 
-    def update(self) -> None:
-        """Close the integration window at the current simulation time."""
-        now = self.sim.now
-        dt_ps = now - self._last_time
+    def _open_window(self) -> tuple[float, float] | None:
+        """(energy increment, power) of the open window; ``None`` if empty."""
+        dt_ps = self.sim.now - self._last_time
         if dt_ps <= 0:
-            return
+            return None
         cycles = self.core.cycle - self._last_cycle
         slots = self.core.stats.slots_issued - self._last_slots
         utilization = min(1.0, slots / cycles) if cycles > 0 else 0.0
         power_mw = core_power_mw(self.core.frequency.megahertz, utilization)
         # Full-DVFS extension: P scales with V^2 (paper §III.B, Fig. 4).
         power_mw *= getattr(self.core, "voltage", 1.0) ** 2
-        self.energy_j += power_mw * 1e-3 * (dt_ps / PS_PER_S)
+        return power_mw * 1e-3 * (dt_ps / PS_PER_S), power_mw
+
+    def update(self) -> None:
+        """Close the integration window at the current simulation time."""
+        window = self._open_window()
+        if window is None:
+            return
+        increment, power_mw = window
+        self.energy_j += increment
         self.last_window_power_mw = power_mw
-        self._last_time = now
+        self._last_time = self.sim.now
         self._last_cycle = self.core.cycle
         self._last_slots = self.core.stats.slots_issued
+
+    def observe(self) -> tuple[float, float]:
+        """(energy through now, open-window power) — without closing.
+
+        A pure read: repeated observation leaves the window anchors and
+        the float accumulation order exactly as an unobserved run, so
+        observers (metrics snapshots, heartbeats) can sample mid-run
+        without perturbing checkpoint state or the bit-exact final
+        ledger.
+        """
+        window = self._open_window()
+        if window is None:
+            return self.energy_j, self.last_window_power_mw
+        increment, power_mw = window
+        return self.energy_j + increment, power_mw
 
 
 class EnergyAccounting:
@@ -97,6 +119,16 @@ class EnergyAccounting:
             self.link_energy_j += traffic_energy_joules(delta)
             self._last_link_bits = bits_now
 
+    def observe_link_energy_j(self) -> float:
+        """Link energy through now, without committing the bit deltas."""
+        if self.fabric is None:
+            return self.link_energy_j
+        delta = {
+            name: stats["bits"] - self._last_link_bits.get(name, 0.0)
+            for name, stats in self.fabric.link_stats_by_class().items()
+        }
+        return self.link_energy_j + traffic_energy_joules(delta)
+
     # -- queries ---------------------------------------------------------------
 
     def core_energy_j(self, node_id: int) -> float:
@@ -131,6 +163,26 @@ class EnergyAccounting:
         return sum(
             channel.retry_energy_j(self)
             for channel in self.retry_channels.values()
+        )
+
+    def observe_retry_energy_j(self) -> float:
+        """Retransmission energy through now, without committing windows.
+
+        The same proration as :meth:`retry_energy_j` (each channel's
+        share of wire bits applied to the link total) computed against
+        :meth:`observe_link_energy_j`, so observers never mutate the
+        ledger they are reporting.
+        """
+        if self.fabric is None:
+            return 0.0
+        total_bits = sum(link.bits_carried for link in self.fabric.links)
+        if total_bits == 0:
+            return 0.0
+        link_energy = self.observe_link_energy_j()
+        return sum(
+            link_energy * channel.stats.retry_bits / total_bits
+            for channel in self.retry_channels.values()
+            if channel.stats.retry_bits
         )
 
     def support_energy_j(self) -> float:
@@ -203,26 +255,26 @@ class EnergyAccounting:
     def register_metrics(self, registry) -> None:
         """Publish the ledger as metric series (lazily collected).
 
-        One collector closes every integration window
-        (:meth:`update`) and then emits ``energy.core_j{node=...}`` and
-        ``energy.core_power_mw{node=...}`` per core plus the machine
-        totals ``energy.links_j``, ``energy.support_j`` and
-        ``energy.elapsed_s``.  Because the energy report is built from
-        the same series (:func:`repro.core.transparency.build_report`),
-        reports and metrics cannot disagree.
+        The collector *observes* the ledger (open windows included)
+        without closing any integration window: a metrics snapshot —
+        and hence a heartbeat's metrics delta — is a pure read, so
+        snapshotting mid-run perturbs neither checkpoint state nor the
+        bit-exact final accumulators.  End-of-run reports
+        (:func:`repro.core.transparency.build_report`) still commit
+        via :meth:`update` before reading, after which observed and
+        committed values coincide bit-for-bit — reports and metrics
+        cannot disagree.
         """
 
         def _collect(emit) -> None:
-            self.update()
             for node_id in sorted(self.trackers):
-                tracker = self.trackers[node_id]
+                energy_j, power_mw = self.trackers[node_id].observe()
                 labels = {"node": str(node_id)}
-                emit("energy.core_j", labels, tracker.energy_j)
-                emit("energy.core_power_mw", labels,
-                     tracker.last_window_power_mw)
-            emit("energy.links_j", {}, self.link_energy_j)
+                emit("energy.core_j", labels, energy_j)
+                emit("energy.core_power_mw", labels, power_mw)
+            emit("energy.links_j", {}, self.observe_link_energy_j())
             emit("energy.support_j", {}, self.support_energy_j())
-            emit("energy.retry_j", {}, self.retry_energy_j())
+            emit("energy.retry_j", {}, self.observe_retry_energy_j())
             emit("energy.elapsed_s", {}, self.elapsed_s)
 
         registry.register_collector(_collect)

@@ -1,0 +1,54 @@
+"""``repro.farm`` — a checkpoint-backed simulation campaign farm.
+
+The farm turns the simulator into a batch service: hundreds of queued
+run specs (fault campaigns, DVFS sweeps, topology ablations) fan out
+across a pool of worker processes, each job checkpointed as it runs and
+content-addressed when it finishes.
+
+* :class:`JobSpec` / :class:`MatrixSpec` — one job, or a Cartesian
+  sweep (topology x frequency x seeds) that expands deterministically
+  into many; a job's identity is the SHA-256 of its canonical config.
+* :class:`JobQueue` — durable per-job JSON records with states
+  pending → running → done/failed/preempted; survives farm restarts.
+* :class:`WorkerPool` — the multiprocessing coordinator: claims jobs,
+  serves unchanged configs straight from the cache, spawns workers,
+  honours the exit-75 preemption convention, and migrates preempted
+  jobs to a different worker, which resumes byte-identically from the
+  job's :class:`~repro.checkpoint.policy.CheckpointStore`.
+* :class:`ResultCache` — content-addressed result documents: a cache
+  hit is byte-identical to re-running the simulation.
+* :class:`FarmReport` / :func:`farm_progress` — the end-of-campaign
+  aggregate and the live heartbeat-fed progress view.
+
+See ``docs/farm.md`` for the job lifecycle, cache keying, and the
+preemption/migration walk-through.
+"""
+
+from repro.farm.cache import ResultCache
+from repro.farm.pool import (
+    FarmReport,
+    WorkerPool,
+    farm_progress,
+    farm_report,
+    render_progress,
+)
+from repro.farm.queue import JobQueue, JobRecord, STATES
+from repro.farm.spec import FarmError, JobSpec, MatrixSpec
+from repro.farm.worker import EXIT_PREEMPTED, execute_job
+
+__all__ = [
+    "EXIT_PREEMPTED",
+    "FarmError",
+    "FarmReport",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "MatrixSpec",
+    "ResultCache",
+    "STATES",
+    "WorkerPool",
+    "execute_job",
+    "farm_progress",
+    "farm_report",
+    "render_progress",
+]

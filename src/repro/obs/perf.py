@@ -178,11 +178,31 @@ class PerfHistory:
         return groups
 
     def baseline(self, bench: str, window: int = 5) -> float | None:
-        """Rolling baseline: median events/sec of the last ``window`` rows."""
+        """Rolling baseline: median events/sec of the last ``window`` rows.
+
+        Short histories have explicit semantics rather than falling out
+        of the median by accident:
+
+        * **0 sessions** — ``None``: there is no baseline, so the gate
+          records the bench as *unseen* instead of comparing against 0.
+        * **1 session** — that session's events/sec verbatim.  One run
+          is a weak baseline, but gating against it still catches a
+          collapse on the very next run.
+        * **2 sessions** — their midpoint ``(a + b) / 2``, splitting the
+          difference until a third run lets a true median reject the
+          outlier.
+        * **>= 3 sessions** — the median of the last ``window`` rows,
+          which a single noisy run cannot drag.
+        """
         group = self.by_bench().get(bench)
         if not group:
             return None
-        return _median([r.events_per_sec for r in group[-window:]])
+        rates = [r.events_per_sec for r in group[-window:]]
+        if len(rates) == 1:
+            return rates[0]
+        if len(rates) == 2:
+            return (rates[0] + rates[1]) / 2
+        return _median(rates)
 
 
 def _median(values: list[float]) -> float:

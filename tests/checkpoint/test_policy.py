@@ -77,3 +77,36 @@ class TestStore:
         store = CheckpointStore(tmp_path / "empty")
         with pytest.raises(CheckpointError, match="no checkpoint bundles"):
             store.latest()
+
+    def test_orphans_are_pruned_and_retained_set_survives(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store", retain=3)
+        ResumableRun(
+            "faults_stream", {"words": 4, "seed": 0},
+            policy=CheckpointPolicy(every_events=400, retain=3),
+            store=store,
+        ).run()
+        retained = [p.name for p in store.paths()]
+        # Simulate a writer killed mid-replace and a hand-mangled name.
+        (store.directory / "checkpoint-000000099999.json.tmp").write_text("{")
+        (store.directory / "checkpoint-zzz.json").write_text("{}")
+        (store.directory / "NOTES.txt").write_text("unrelated")
+
+        reopened = CheckpointStore(tmp_path / "store", retain=3)
+        assert [p.name for p in reopened.paths()] == retained
+        assert reopened.orphans() == []
+        assert (store.directory / "NOTES.txt").exists()  # never collateral
+        # latest() still loads a validated bundle, not the mangled file.
+        assert reopened.latest().events_processed > 0
+
+    def test_reopening_with_smaller_retain_trims_to_bound(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store", retain=5)
+        ResumableRun(
+            "faults_stream", {"words": 4, "seed": 0},
+            policy=CheckpointPolicy(every_events=300, retain=5),
+            store=store,
+        ).run()
+        assert len(store) > 1
+        newest = store.paths()[-1].name
+        reopened = CheckpointStore(tmp_path / "store", retain=1)
+        assert len(reopened) == 1
+        assert reopened.paths()[0].name == newest

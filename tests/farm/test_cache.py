@@ -1,0 +1,49 @@
+"""Tests for the content-addressed result cache."""
+
+import pytest
+
+from repro.farm import JobSpec, ResultCache
+from repro.farm.worker import result_document
+
+
+def document(seed=1):
+    spec = JobSpec("demo", {"seed": seed})
+    return spec.digest, result_document(spec.config, {"energy": {"x": 1.0}})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest, doc = document()
+        assert cache.get(digest) is None
+        cache.put(digest, doc)
+        assert cache.get(digest) == doc
+        assert digest in cache
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest, doc = document()
+        path = cache.put(digest, doc)
+        path.write_text("{torn", encoding="utf-8")
+        assert cache.get(digest) is None
+
+    def test_mismatched_config_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest, doc = document(seed=1)
+        _, other = document(seed=2)
+        path = cache.put(digest, doc)
+        # Hand-edit the entry to a different job's document: the stored
+        # config no longer hashes to the file name -> miss, not a wrong
+        # answer.
+        import json
+        path.write_text(json.dumps(other), encoding="utf-8")
+        assert cache.get(digest) is None
+
+    def test_put_refuses_to_poison(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest, _ = document(seed=1)
+        _, wrong = document(seed=2)
+        with pytest.raises(ValueError, match="poison"):
+            cache.put(digest, wrong)
+        assert len(cache) == 0

@@ -1,0 +1,99 @@
+"""End-to-end tests for ``python -m repro farm``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+MATRIX = {
+    "workload": "faults_stream",
+    "base": {"words": 4, "drop_rate": 0.0},
+    "sweep": {"seed": [0, 1], "slices_x": [1, 2]},
+}
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    path = tmp_path / "matrix.json"
+    path.write_text(json.dumps(MATRIX))
+    return path
+
+
+class TestFarmCli:
+    def test_submit_then_run_then_report(self, tmp_path, matrix_file, capsys):
+        farm = tmp_path / "farm"
+        assert main(["farm", "submit", "--dir", str(farm),
+                     "--matrix", str(matrix_file)]) == 0
+        out = capsys.readouterr().out
+        assert "submitted 4 new / 4 total jobs" in out
+
+        # Re-submitting the same matrix dedupes on content.
+        assert main(["farm", "submit", "--dir", str(farm),
+                     "--matrix", str(matrix_file)]) == 0
+        assert "submitted 0 new / 4 total jobs" in capsys.readouterr().out
+
+        report_path = tmp_path / "report.json"
+        assert main(["farm", "run", "--dir", str(farm), "--workers", "2",
+                     "--checkpoint-every", "200",
+                     "--report-out", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "farm report: 4 jobs  done=4" in out
+        assert "wall time" in out
+        document = json.loads(report_path.read_text())
+        assert document["counts"]["done"] == 4
+        assert document["cache"]["hits"] == 0
+
+        assert main(["farm", "status", "--dir", str(farm)]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 jobs finished" in out
+
+        assert main(["farm", "report", "--dir", str(farm), "--json"]) == 0
+        again = json.loads(capsys.readouterr().out)
+        assert again["jobs"] == document["jobs"]
+
+    def test_rerun_hits_the_cache(self, tmp_path, matrix_file, capsys):
+        farm_a = tmp_path / "farm_a"
+        assert main(["farm", "run", "--dir", str(farm_a),
+                     "--matrix", str(matrix_file), "--workers", "2",
+                     "--checkpoint-every", "200", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache"]["hits"] == 0
+
+        # A second campaign sharing the cache: all hits, zero workers.
+        farm_b = tmp_path / "farm_b"
+        assert main(["farm", "run", "--dir", str(farm_b),
+                     "--cache-dir", str(farm_a / "cache"),
+                     "--matrix", str(matrix_file), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache"] == {"hits": 4, "misses": 0, "hit_rate": 1.0}
+        # Deterministic payloads: both campaigns report identical jobs.
+        assert [j["state_digest"] for j in second["jobs"]] == \
+            [j["state_digest"] for j in first["jobs"]]
+
+    def test_preempt_flag_migrates_and_finishes(self, tmp_path, matrix_file,
+                                                capsys):
+        farm = tmp_path / "farm"
+        assert main(["farm", "submit", "--dir", str(farm),
+                     "--matrix", str(matrix_file), "--show", "1"]) == 0
+        victim = capsys.readouterr().out.splitlines()[1].split()[0]
+        assert main(["farm", "run", "--dir", str(farm), "--workers", "2",
+                     "--checkpoint-every", "200",
+                     "--preempt", f"{victim}@300", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counts"]["done"] == 4
+        assert document["preemptions"] == 1
+        row = next(j for j in document["jobs"] if j["job_id"] == victim)
+        assert row["attempts"] == 2
+        assert len(set(row["workers"])) == 2
+
+    def test_run_on_empty_queue_exits_2(self, tmp_path, capsys):
+        assert main(["farm", "run",
+                     "--dir", str(tmp_path / "nothing")]) == 2
+        assert "queue is empty" in capsys.readouterr().err
+
+    def test_bad_preempt_spec_exits_2(self, tmp_path, matrix_file):
+        with pytest.raises(SystemExit):
+            main(["farm", "run", "--dir", str(tmp_path / "farm"),
+                  "--matrix", str(matrix_file), "--preempt", "nonsense"])

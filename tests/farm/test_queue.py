@@ -1,0 +1,91 @@
+"""Tests for the durable job queue: lifecycle, durability, recovery."""
+
+import pytest
+
+from repro.farm import FarmError, JobQueue, JobSpec
+
+
+def specs(n=3):
+    return [JobSpec("demo", {"seed": i}) for i in range(n)]
+
+
+class TestLifecycle:
+    def test_submit_claim_complete(self, tmp_path):
+        queue = JobQueue(tmp_path / "farm")
+        records = queue.submit_all(specs())
+        assert [r.state for r in records] == ["pending"] * 3
+
+        claimed = queue.claim(worker=0)
+        assert claimed.state == "running"
+        assert claimed.attempts == 1
+        assert claimed.workers == [0]
+        assert claimed.index == 0  # submission order
+
+        done = queue.complete(claimed.job_id)
+        assert done.state == "done"
+        assert queue.counts() == {
+            "pending": 2, "running": 0, "done": 1,
+            "failed": 0, "preempted": 0,
+        }
+        assert not queue.done()
+
+    def test_submit_dedupes_on_content(self, tmp_path):
+        queue = JobQueue(tmp_path / "farm")
+        first = queue.submit(JobSpec("demo", {"seed": 1}))
+        again = queue.submit(JobSpec("demo", {"seed": 1}))
+        assert again.job_id == first.job_id
+        assert len(queue) == 1
+
+    def test_preempted_jobs_claim_first(self, tmp_path):
+        queue = JobQueue(tmp_path / "farm")
+        queue.submit_all(specs())
+        first = queue.claim(worker=0)
+        queue.preempt(first.job_id)
+        # The preempted job outranks the never-started pending ones.
+        reclaimed = queue.claim(worker=1)
+        assert reclaimed.job_id == first.job_id
+        assert reclaimed.attempts == 2
+        assert reclaimed.workers == [0, 1]
+
+    def test_claim_specific_job_must_be_claimable(self, tmp_path):
+        queue = JobQueue(tmp_path / "farm")
+        queue.submit_all(specs())
+        record = queue.claim(worker=0)
+        with pytest.raises(FarmError, match="not claimable"):
+            queue.claim(worker=1, job_id=record.job_id)
+
+    def test_claim_on_empty_queue_returns_none(self, tmp_path):
+        queue = JobQueue(tmp_path / "farm")
+        assert queue.claim(worker=0) is None
+
+
+class TestDurability:
+    def test_queue_state_survives_reopening(self, tmp_path):
+        queue = JobQueue(tmp_path / "farm")
+        queue.submit_all(specs())
+        record = queue.claim(worker=0)
+        queue.fail(record.job_id, "boom")
+
+        reopened = JobQueue(tmp_path / "farm")
+        assert reopened.counts()["failed"] == 1
+        assert reopened.get(record.job_id).error == "boom"
+        assert [r.index for r in reopened.jobs()] == [0, 1, 2]
+
+    def test_recover_flips_orphaned_running_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path / "farm")
+        queue.submit_all(specs())
+        running = queue.claim(worker=0)
+        # Simulate the farm process dying: reopen and recover.
+        reopened = JobQueue(tmp_path / "farm")
+        recovered = reopened.recover()
+        assert [r.job_id for r in recovered] == [running.job_id]
+        assert reopened.get(running.job_id).state == "preempted"
+
+    def test_done_requires_all_terminal(self, tmp_path):
+        queue = JobQueue(tmp_path / "farm")
+        assert not queue.done()  # empty queue is not "done"
+        queue.submit_all(specs(2))
+        for _ in range(2):
+            record = queue.claim(worker=0)
+            queue.complete(record.job_id)
+        assert queue.done()

@@ -1,0 +1,83 @@
+"""Tests for JobSpec / MatrixSpec: content addressing and expansion."""
+
+import json
+
+import pytest
+
+from repro.farm import FarmError, JobSpec, MatrixSpec
+
+
+class TestJobSpec:
+    def test_digest_is_stable_across_param_order(self):
+        a = JobSpec("faults_stream", {"words": 8, "seed": 1})
+        b = JobSpec("faults_stream", {"seed": 1, "words": 8})
+        assert a.digest == b.digest
+        assert a.job_id == b.job_id == a.digest[:12]
+
+    def test_digest_separates_configs(self):
+        a = JobSpec("faults_stream", {"seed": 1})
+        b = JobSpec("faults_stream", {"seed": 2})
+        c = JobSpec("demo", {"seed": 1})
+        assert len({a.digest, b.digest, c.digest}) == 3
+
+    def test_roundtrip(self):
+        spec = JobSpec("demo", {"slices_x": 2, "freq_mhz": 250})
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.digest == spec.digest
+
+    def test_rejects_empty_workload(self):
+        with pytest.raises(FarmError, match="workload name"):
+            JobSpec("")
+
+    def test_rejects_unserialisable_params(self):
+        with pytest.raises(FarmError, match="JSON-able"):
+            JobSpec("demo", {"bad": object()})
+
+
+class TestMatrixSpec:
+    def matrix(self):
+        return MatrixSpec(
+            workload="faults_stream",
+            base={"words": 8},
+            sweep={"slices_x": [1, 2], "seed": [0, 1, 2]},
+        )
+
+    def test_num_jobs_is_the_product(self):
+        assert self.matrix().num_jobs == 6
+
+    def test_expansion_is_deterministic(self):
+        jobs_a = self.matrix().jobs()
+        jobs_b = self.matrix().jobs()
+        assert [j.digest for j in jobs_a] == [j.digest for j in jobs_b]
+        assert len(jobs_a) == 6
+        # Sorted axis order: slices_x varies fastest (sorts after seed).
+        assert [(j.params["seed"], j.params["slices_x"])
+                for j in jobs_a[:3]] == [(0, 1), (0, 2), (1, 1)]
+        assert all(j.params["words"] == 8 for j in jobs_a)
+
+    def test_duplicate_configs_collapse(self):
+        matrix = MatrixSpec(
+            workload="demo",
+            base={"seed": 7},
+            sweep={"seed": [7, 7, 8]},
+        )
+        assert [j.params["seed"] for j in matrix.jobs()] == [7, 8]
+
+    def test_from_file_and_validation(self, tmp_path):
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps(self.matrix().to_dict()))
+        loaded = MatrixSpec.from_file(path)
+        assert loaded == self.matrix()
+
+        path.write_text("{not json")
+        with pytest.raises(FarmError, match="unparseable"):
+            MatrixSpec.from_file(path)
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(FarmError, match="non-empty value list"):
+            MatrixSpec(workload="demo", sweep={"seed": []})
+
+    def test_rejects_missing_workload(self):
+        with pytest.raises(FarmError, match="workload"):
+            MatrixSpec.from_dict({"sweep": {"seed": [1]}})

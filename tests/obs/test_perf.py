@@ -89,6 +89,25 @@ class TestPerfHistory:
             pytest.approx(400.0)
         assert history.baseline("never_seen") is None
 
+    def test_baseline_with_zero_sessions_is_none(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        assert history.baseline("bench_x::test_y") is None
+        history.append(make_record(bench="other::bench"))
+        assert history.baseline("bench_x::test_y") is None
+
+    def test_baseline_with_one_session_is_that_session(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        history.append(make_record(eps=123_456.0))
+        assert history.baseline("bench_x::test_y") == \
+            pytest.approx(123_456.0)
+
+    def test_baseline_with_two_sessions_is_midpoint(self, tmp_path):
+        history = PerfHistory(tmp_path / "h.jsonl")
+        history.append(make_record(eps=100_000.0))
+        history.append(make_record(eps=300_000.0))
+        assert history.baseline("bench_x::test_y") == \
+            pytest.approx(200_000.0)
+
     def test_empty_history(self, tmp_path):
         history = PerfHistory(tmp_path / "absent.jsonl")
         assert history.load() == []
