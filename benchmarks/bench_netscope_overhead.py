@@ -1,0 +1,134 @@
+"""Netscope overhead: what does the fabric observatory cost?
+
+The fabric observatory hooks the hottest paths in the simulator — every
+link token launch and every switch-port state change — so its probes
+must be demonstrably cheap *and* demonstrably pure: attaching a
+:class:`~repro.obs.netscope.NetScope` may not change the event
+trajectory by a single event, and its wall-clock cost must stay inside
+the same 10 % budget as the rest of the observability stack.
+
+Methodology matches ``bench_observer_overhead``: interleaved runs
+(plain, netscoped, plain, ...), scored as the ratio of each
+configuration's best run — one-sided scheduler noise cannot fake a
+regression, and extra rounds only sharpen each side's noise-free floor.
+Both configurations run with the metrics registry off, so the measured
+delta isolates the netscope probes themselves.
+"""
+
+import time
+
+from repro import Compute, RecvWord, SendWord, assemble
+from repro.core.platform import SwallowSystem
+
+#: Spin-loop iterations per worker core (sets the bench's event volume).
+LOOPS = 2000
+#: Words streamed across the fabric while the workers spin.
+WORDS = 24
+#: Interleaved rounds; each configuration's best run is scored.
+ROUNDS = 10
+#: Adaptive extension cap while the measured overhead is over budget.
+MAX_ROUNDS = 30
+#: The budget the netscoped configuration must stay within.
+OVERHEAD_BUDGET = 0.10
+
+
+def _load(system: SwallowSystem) -> list[int]:
+    """A fixed multi-core workload: four spinning cores + one stream."""
+    for node in (0, 2, 4, 6):
+        system.spawn(system.core(node), assemble(f"""
+            ldc r0, {LOOPS}
+        loop:
+            subi r0, r0, 1
+            bt r0, loop
+            freet
+        """))
+    channel = system.channel(system.core(1), system.core(10))
+    received: list[int] = []
+
+    def producer():
+        for i in range(WORDS):
+            yield Compute(80)
+            yield SendWord(channel.a, i * 5 + 3)
+
+    def consumer():
+        for _ in range(WORDS):
+            received.append((yield RecvWord(channel.b)))
+
+    system.spawn_task(system.core(1), producer())
+    system.spawn_task(system.core(10), consumer())
+    return received
+
+
+def _run_once(netscoped: bool) -> tuple[int, float, int]:
+    """One run; returns (events, wall seconds, tokens seen by probes)."""
+    system = SwallowSystem(metrics=False)
+    tokens = 0
+    if netscoped:
+        scope = system.netscope()
+    _load(system)
+    wall_start = time.perf_counter()
+    system.run()
+    wall_s = time.perf_counter() - wall_start
+    if netscoped:
+        tokens = sum(
+            cell[0]
+            for probe in scope.link_probes.values()
+            for cell in probe.windows.values()
+        )
+    return system.sim.events_processed, wall_s, tokens
+
+
+def _measure() -> tuple[int, int, int, float, float, float]:
+    """Interleaved throughput measurement (see module docstring)."""
+    best: dict[bool, float] = {}
+    events: dict[bool, int] = {}
+    tokens = 0
+    rounds = 0
+    while rounds < MAX_ROUNDS:
+        rounds += 1
+        for netscoped in (False, True):
+            ev, wall_s, seen = _run_once(netscoped)
+            events[netscoped] = ev
+            if netscoped:
+                tokens = seen
+            if netscoped not in best or wall_s < best[netscoped]:
+                best[netscoped] = wall_s
+        if rounds >= ROUNDS and best[True] / best[False] - 1.0 < OVERHEAD_BUDGET:
+            break
+    return (events[False], events[True], tokens,
+            events[False] / best[False], events[True] / best[True],
+            best[True] / best[False] - 1.0)
+
+
+def test_netscope_overhead(report_table):
+    events_plain, events_scoped, tokens, plain_eps, scoped_eps, overhead = (
+        _measure()
+    )
+    assert events_plain == events_scoped, (
+        "netscope changed the event trajectory — probes must be pure "
+        "observers"
+    )
+    assert tokens > 0, "netscope probes saw no traffic; bench is broken"
+    report_table(
+        "netscope_overhead",
+        "Fabric observatory overhead: netscope probes on vs off",
+        ["configuration", "events", "best events/sec", "overhead"],
+        [
+            ["plain (no probes)", events_plain, round(plain_eps), "-"],
+            ["netscoped (link+port probes)", events_scoped,
+             round(scoped_eps), f"{overhead:.1%}"],
+        ],
+        notes=(
+            f"best of {ROUNDS}-{MAX_ROUNDS} interleaved rounds per "
+            f"configuration (extended adaptively while over budget); "
+            f"budget {OVERHEAD_BUDGET:.0%}; probes counted {tokens} "
+            "token launches. Metrics registry off on both sides, so "
+            "the delta isolates the netscope probes."
+        ),
+    )
+    print(f"netscope overhead: {overhead:.2%} "
+          f"(best {plain_eps:,.0f} -> {scoped_eps:,.0f} ev/s)")
+    assert overhead < OVERHEAD_BUDGET, (
+        f"netscope overhead {overhead:.1%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget"
+    )

@@ -11,7 +11,10 @@ frequency x seeds — through :mod:`repro.farm`:
 2. **Pareto view.**  Per design point (topology, frequency), seeds
    average out and the Pareto-optimal points — no other point is both
    lower-energy *and* faster — get flagged.
-3. **Warm pass.**  The *same* matrix resubmitted to a fresh campaign
+3. **Fleet heat map.**  Every job runs with the fabric observatory
+   (``"netscope": true``), so the campaign's heat maps merge into one
+   per-topology spatial view of where the fabric was hot.
+4. **Warm pass.**  The *same* matrix resubmitted to a fresh campaign
    sharing the result cache: every job completes as a cache hit, byte
    -identical to re-simulating, without spawning a single worker.
 
@@ -21,11 +24,11 @@ Run:  python examples/farm_dse_sweep.py
 import tempfile
 from pathlib import Path
 
-from repro.farm import JobQueue, MatrixSpec, ResultCache, WorkerPool
+from repro.farm import JobQueue, MatrixSpec, ResultCache, WorkerPool, farm_heatmap
 
 MATRIX = MatrixSpec(
     workload="faults_stream",
-    base={"words": 6, "drop_rate": 0.05},
+    base={"words": 6, "drop_rate": 0.05, "netscope": True},
     sweep={
         "slices_x": [1, 2],
         "freq_mhz": [500, 250],
@@ -34,11 +37,33 @@ MATRIX = MatrixSpec(
 )
 
 
-def run_campaign(root: Path, name: str, cache: ResultCache) -> dict:
+def run_campaign(root: Path, name: str, cache: ResultCache) -> tuple[dict, JobQueue]:
     queue = JobQueue(root / name)
     queue.submit_all(MATRIX.jobs())
     pool = WorkerPool(queue, cache, num_workers=2, checkpoint_every=500)
-    return pool.run().to_dict()
+    return pool.run().to_dict(), queue
+
+
+def heat_view(queue: JobQueue, cache: ResultCache) -> None:
+    """Render the campaign's merged heat map, one overlay per topology."""
+    from repro.network.topology import SwallowTopology
+    from repro.network.visualize import render_heat
+    from repro.sim import Simulator
+
+    fleet = farm_heatmap(queue, cache)
+    if fleet is None:
+        print("no heat maps recorded")
+        return
+    for key in sorted(fleet["grids"]):
+        merged = fleet["grids"][key]
+        grid = merged["grid"]
+        topology = SwallowTopology(
+            Simulator(),
+            slices_x=grid["slices_x"], slices_y=grid["slices_y"],
+        )
+        print(f"[{key} slices — merged over {merged['merged_from']} job(s)]")
+        print(render_heat(topology, merged))
+        print()
 
 
 def pareto_view(report: dict) -> None:
@@ -77,15 +102,18 @@ def main() -> None:
 
         print(f"-- cold pass: {MATRIX.num_jobs} jobs "
               f"(topology x frequency x seeds) ----------")
-        cold = run_campaign(root, "cold", cache)
+        cold, cold_queue = run_campaign(root, "cold", cache)
         print(f"simulated {cold['counts']['done']} jobs, "
               f"{cold['cache']['hits']} cache hits")
         print()
         pareto_view(cold)
         print()
 
+        print("-- fleet heat map: where the fabric was hot, per topology --")
+        heat_view(cold_queue, cache)
+
         print("-- warm pass: same matrix, fresh campaign, shared cache ----")
-        warm = run_campaign(root, "warm", cache)
+        warm, _ = run_campaign(root, "warm", cache)
         print(f"completed {warm['counts']['done']} jobs with "
               f"{warm['cache']['hits']} cache hits "
               f"({warm['cache']['hit_rate']:.0%} hit rate)")

@@ -18,6 +18,13 @@ Commands:
   the final metrics snapshot as JSON); ``--checkpoint-every N`` captures
   checkpoint bundles as it runs and ``--kill-after-events N`` simulates
   a crash (exit code 75) that ``resume`` can continue from;
+* ``netscope`` — run a workload under the fabric observatory and
+  export its views: the spatial heat map (canonical JSON + ``--ascii``
+  overlay), Chrome counter tracks for Perfetto, and the slice-cut
+  report; with ``--checkpoint-dir`` a non-empty store is resumed, and
+  the resumed run's exports are byte-identical to an uninterrupted
+  run's (``topology --heat`` draws the same overlay for the demo
+  workload);
 * ``checkpoint`` — run a registered workload partway and write a
   versioned, checksummed checkpoint bundle;
 * ``resume`` — rebuild a run from a bundle (or the newest bundle in a
@@ -125,8 +132,26 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_topology(args: argparse.Namespace) -> int:
+    from repro.network.visualize import (
+        render_heat,
+        render_summary,
+        render_topology,
+    )
+
+    if args.heat:
+        # Heat wants traffic: run the demo workload on a full system
+        # with the fabric observatory attached, then overlay its map.
+        from repro import SwallowSystem
+
+        system = SwallowSystem(slices_x=args.slices_x, slices_y=args.slices_y)
+        scope = system.netscope(window_ps=int(args.window_us * 1e6))
+        _demo_workload(system, seed=args.seed)
+        system.run()
+        print(render_heat(system.topology, scope.heatmap()))
+        print()
+        print(render_summary(system.topology))
+        return 0
     from repro.network.topology import SwallowTopology
-    from repro.network.visualize import render_summary, render_topology
     from repro.sim import Simulator
 
     topology = SwallowTopology(
@@ -361,6 +386,90 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if run.killed:
         return EXIT_KILLED
     return 0 if delivered_ok else 1
+
+
+def cmd_netscope(args: argparse.Namespace) -> int:
+    """Run a workload under the fabric observatory; export its views.
+
+    Resumable: with ``--checkpoint-dir``, a store that already holds
+    bundles is resumed instead of started fresh, and the exported
+    heat map is byte-identical to an uninterrupted run's.
+    """
+    from repro.checkpoint import CheckpointStore, ResumableRun
+
+    params = _stream_params(args)
+    params["netscope"] = True
+    params["netscope_window_us"] = args.window_us
+    resumed_from = None
+    store = None
+    if args.checkpoint_dir:
+        store = CheckpointStore(args.checkpoint_dir, retain=args.retain)
+        if store.paths():
+            resumed_from = str(store.paths()[-1])
+    if resumed_from is not None:
+        from repro.checkpoint import CheckpointPolicy
+
+        policy = None
+        if args.checkpoint_every is not None:
+            policy = CheckpointPolicy(
+                every_events=args.checkpoint_every, retain=args.retain
+            )
+        run = ResumableRun.resume(store.latest(), policy=policy, store=store)
+    else:
+        run = _checkpoint_run(args, args.workload, params)
+    run.run(kill_after_events=args.kill_after_events)
+    context = run.context
+    scope = context.system.topology.fabric.netscope
+    heatmap = scope.heatmap()
+    if args.heatmap_out:
+        with open(args.heatmap_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(heatmap, sort_keys=True,
+                                    separators=(",", ":")))
+    if args.counters_out:
+        document = {"displayTimeUnit": "ns",
+                    "traceEvents": scope.counter_events()}
+        with open(args.counters_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document, sort_keys=True,
+                                    separators=(",", ":")))
+    if args.slice_cut_out:
+        with open(args.slice_cut_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(scope.slice_cut(), sort_keys=True,
+                                    separators=(",", ":")))
+    if args.json:
+        print(json.dumps({"heatmap": heatmap}, sort_keys=True))
+        if run.killed:
+            return EXIT_KILLED
+        return 0
+    if resumed_from is not None:
+        print(f"resumed from {resumed_from}")
+    if args.ascii:
+        from repro.network.visualize import render_heat
+
+        print(render_heat(context.system.topology, heatmap))
+        print()
+    blocked = heatmap["blocked"]
+    print(f"netscope: {heatmap['windows']} windows of "
+          f"{heatmap['window_ps'] / 1e6:.3f} us over "
+          f"{heatmap['elapsed_ps'] / 1e6:.3f} us")
+    print(f"  blocked total     {blocked['total_ps'] / 1e6:.3f} us")
+    for cause in sorted(blocked["by_cause"]):
+        ps = blocked["by_cause"][cause]
+        n = blocked["intervals"][cause]
+        print(f"    {cause:<14} {ps / 1e6:>10.3f} us  ({n} interval(s))")
+    cut = heatmap["slice_cut"]
+    if cut["boundaries"]:
+        print(f"  slice-cut min gap {cut['min_gap_ps']} ps over "
+              f"{len(cut['boundaries'])} boundary(ies)")
+    for flag, path in (("heat map", args.heatmap_out),
+                       ("counter tracks", args.counters_out),
+                       ("slice-cut report", args.slice_cut_out)):
+        if path:
+            print(f"wrote {flag} to {path}")
+    if run.killed:
+        print(f"killed after {args.kill_after_events} events; rerun the "
+              f"same command to resume from {args.checkpoint_dir}")
+        return EXIT_KILLED
+    return 0
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -710,12 +819,29 @@ def cmd_farm(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
+    heat_note = None
+    if args.heatmap_out:
+        from repro.farm import farm_heatmap
+
+        fleet = farm_heatmap(queue, cache)
+        if fleet is None:
+            heat_note = ("no netscope heat maps in this campaign "
+                         "(submit jobs with \"netscope\": true)")
+        else:
+            with open(args.heatmap_out, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(fleet, sort_keys=True,
+                                        separators=(",", ":")))
+            heat_note = (f"wrote fleet heat map ({fleet['jobs']} job(s), "
+                         f"{len(fleet['grids'])} grid(s)) to "
+                         f"{args.heatmap_out}")
     if args.json:
         print(json.dumps(report.to_dict(), sort_keys=True))
     else:
         print(report.render())
         if args.out:
             print(f"wrote farm report to {args.out}")
+        if heat_note:
+            print(heat_note)
     return 0
 
 
@@ -748,9 +874,17 @@ def main(argv: list[str] | None = None) -> int:
     figures.add_argument("--out", default="figures_out", help="output directory")
     figures.add_argument("names", nargs="*", help="subset of figure names")
     figures.set_defaults(func=cmd_figures)
-    topology = subparsers.add_parser("topology", help="draw the lattice")
+    topology = subparsers.add_parser("topology", aliases=["topo"],
+                                     help="draw the lattice")
     topology.add_argument("--slices-x", type=int, default=1)
     topology.add_argument("--slices-y", type=int, default=1)
+    topology.add_argument("--heat", action="store_true",
+                          help="run the demo workload with the fabric "
+                               "observatory and overlay its heat map")
+    topology.add_argument("--seed", type=int, default=None,
+                          help="vary the heat-map workload (with --heat)")
+    topology.add_argument("--window-us", type=float, default=1.0,
+                          help="netscope sampling window in us (with --heat)")
     topology.set_defaults(func=cmd_topology)
     demo = subparsers.add_parser("demo", help="run the quickstart workload")
     demo.add_argument("--seed", type=int, default=None,
@@ -822,6 +956,49 @@ def main(argv: list[str] | None = None) -> int:
                              f"(exit code {EXIT_KILLED}; resume later)")
     _add_heartbeat_flags(faults)
     faults.set_defaults(func=cmd_faults)
+    netscope = subparsers.add_parser(
+        "netscope",
+        help="run a workload under the fabric observatory; export the "
+             "heat map, Chrome counter tracks, and slice-cut report",
+    )
+    netscope.add_argument("--workload", default="faults_stream",
+                          choices=("demo", "faults_stream",
+                                   "watchdog_stream"),
+                          help="registered workload to observe")
+    netscope.add_argument("--slices-x", type=int, default=1)
+    netscope.add_argument("--slices-y", type=int, default=1)
+    netscope.add_argument("--seed", type=int, default=None,
+                          help="workload/campaign seed (deterministic)")
+    netscope.add_argument("--words", type=_positive_int, default=16,
+                          help="payload words to stream")
+    netscope.add_argument("--drop-rate", type=float, default=0.05,
+                          help="default campaign's flaky-link drop rate")
+    netscope.add_argument("--spec", default=None,
+                          help="JSON campaign spec file")
+    netscope.add_argument("--window-us", type=float, default=1.0,
+                          help="telemetry sampling window in simulated us")
+    netscope.add_argument("--heatmap-out", default=None, metavar="PATH",
+                          help="write the heat-map document (canonical JSON)")
+    netscope.add_argument("--counters-out", default=None, metavar="PATH",
+                          help="write Chrome counter tracks (Perfetto)")
+    netscope.add_argument("--slice-cut-out", default=None, metavar="PATH",
+                          help="write the slice-cut report (canonical JSON)")
+    netscope.add_argument("--ascii", action="store_true",
+                          help="print the ASCII heat overlay")
+    netscope.add_argument("--json", action="store_true",
+                          help="emit the heat map as JSON on stdout")
+    netscope.add_argument("--checkpoint-every", type=_positive_int,
+                          default=None, metavar="N",
+                          help="capture a checkpoint bundle every N events")
+    netscope.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                          help="bundle store; a non-empty store is resumed")
+    netscope.add_argument("--retain", type=_positive_int, default=3,
+                          help="checkpoints kept in the retained set")
+    netscope.add_argument("--kill-after-events", type=_positive_int,
+                          default=None, metavar="N",
+                          help="simulate a crash after N events "
+                               f"(exit code {EXIT_KILLED}; resume later)")
+    netscope.set_defaults(func=cmd_netscope)
     checkpoint = subparsers.add_parser(
         "checkpoint",
         help="run a workload partway and write a checkpoint bundle",
@@ -942,6 +1119,10 @@ def main(argv: list[str] | None = None) -> int:
     _farm_common(farm_report_cmd)
     farm_report_cmd.add_argument("--out", default=None, metavar="PATH",
                                  help="write the report as canonical JSON")
+    farm_report_cmd.add_argument("--heatmap-out", default=None,
+                                 metavar="PATH",
+                                 help="merge the jobs' netscope heat maps "
+                                      "into one fleet document (JSON)")
     farm_report_cmd.add_argument("--json", action="store_true",
                                  help="emit the report as JSON on stdout")
     farm.set_defaults(func=cmd_farm)

@@ -68,6 +68,9 @@ class RunContext:
             report["campaign"] = self.campaign.report().to_dict()
         report["energy"] = self.system.energy_report().to_dict()
         report["metrics"] = self.system.metrics_snapshot().as_dict()
+        scope = self.system.topology.fabric.netscope
+        if scope is not None:
+            report["netscope"] = scope.heatmap()
         report["received"] = list(self.received)
         report["delivered_ok"] = (
             self.received == self.expected if self.expected else None
@@ -126,6 +129,18 @@ def _system_kwargs(params: dict) -> dict:
     return kwargs
 
 
+def _maybe_netscope(system, params: dict) -> None:
+    """Attach the fabric observatory when ``params["netscope"]`` asks.
+
+    Part of the params dict, so a resumed run rebuilds the same probes
+    (and the same heat-map bytes) from the checkpoint's setup record.
+    ``netscope_window_us`` sets the sampling window (default 1 µs).
+    """
+    if params.get("netscope"):
+        window_us = float(params.get("netscope_window_us", 1.0))
+        system.netscope(window_ps=int(window_us * 1e6))
+
+
 def _stream_route(system):
     """The canonical one-hop stream route used by the fault workloads."""
     from repro.network.routing import Layer
@@ -144,6 +159,7 @@ def _demo(params: dict) -> RunContext:
     from repro.core.platform import SwallowSystem
 
     system = SwallowSystem(**_system_kwargs(params))
+    _maybe_netscope(system, params)
     received = _demo_workload(system, seed=params.get("seed"))
     return RunContext(system=system, received=received)
 
@@ -163,6 +179,7 @@ def _faults_stream(params: dict) -> RunContext:
 
     words = int(params.get("words", 16))
     system = SwallowSystem(**_system_kwargs(params))
+    _maybe_netscope(system, params)
     node_a, node_b, cores = _stream_route(system)
     channel = ReliableChannel.between(cores[node_a], cores[node_b])
     received: list[int] = []
@@ -226,6 +243,7 @@ def _watchdog_stream(params: dict) -> RunContext:
 
     words = int(params.get("words", 24))
     system = SwallowSystem(**_system_kwargs(params))
+    _maybe_netscope(system, params)
     node_a, node_b, cores = _stream_route(system)
     channel = ReliableChannel.between(
         cores[node_a], cores[node_b],

@@ -180,6 +180,23 @@ class SwallowSystem:
             self._trace_metrics_registered = True
         return recorder
 
+    def netscope(self, window_ps: int = 1_000_000):
+        """Attach the fabric observatory (created on first call).
+
+        Instruments every link and switch port with windowed telemetry
+        probes (see :class:`repro.obs.netscope.NetScope`) and registers
+        its blocked-time series with the system metrics registry.  Pure
+        observer: attaching it never changes the event schedule.
+        """
+        from repro.obs.netscope import NetScope
+
+        fabric = self.topology.fabric
+        if fabric.netscope is None:
+            scope = NetScope(fabric, topology=self.topology,
+                             window_ps=window_ps)
+            scope.register_metrics(self.metrics)
+        return fabric.netscope
+
     def spans(self, trace_id: int = 1) -> SpanRecorder:
         """The machine-wide causal-span recorder (created on first call).
 

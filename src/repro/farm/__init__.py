@@ -28,6 +28,7 @@ from repro.farm.cache import ResultCache
 from repro.farm.pool import (
     FarmReport,
     WorkerPool,
+    farm_heatmap,
     farm_progress,
     farm_report,
     render_progress,
@@ -48,6 +49,7 @@ __all__ = [
     "STATES",
     "WorkerPool",
     "execute_job",
+    "farm_heatmap",
     "farm_progress",
     "farm_report",
     "render_progress",

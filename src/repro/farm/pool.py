@@ -329,6 +329,32 @@ def farm_report(queue: JobQueue, cache: ResultCache, work_root) -> FarmReport:
     })
 
 
+def farm_heatmap(queue: JobQueue, cache: ResultCache) -> dict | None:
+    """Merge the campaign's netscope heat maps into one fleet document.
+
+    Collects the ``report["netscope"]`` section of every completed
+    job's cached result and merges per grid shape (DSE sweeps mix
+    topologies; see :func:`repro.obs.netscope.fleet_heatmap`).  Returns
+    None when no job carried a heat map — netscope is opt-in via the
+    ``"netscope": true`` workload param.
+    """
+    from repro.obs.netscope import fleet_heatmap
+
+    docs = []
+    for record in queue.jobs():
+        if record.state != "done":
+            continue
+        document = cache.get(record.digest)
+        if document is None:
+            continue
+        heatmap = document.get("report", {}).get("netscope")
+        if heatmap is not None:
+            docs.append(heatmap)
+    if not docs:
+        return None
+    return fleet_heatmap(docs)
+
+
 def farm_progress(queue: JobQueue, work_root) -> dict:
     """The live campaign view: queue counts + newest heartbeat per job.
 

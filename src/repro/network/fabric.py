@@ -20,6 +20,7 @@ from repro.sim import Frequency, Simulator
 
 if TYPE_CHECKING:
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.netscope import NetScope
     from repro.sim.tracing import TraceRecorder
     from repro.xs1.chanend import Chanend
 
@@ -78,6 +79,10 @@ class SwallowFabric:
         self.fault_listeners: list[Callable[[LinkRecord], None]] = []
         #: Network-wide trace sink; switches and links consult this.
         self.tracer: "TraceRecorder | None" = None
+        #: The fabric observatory, when attached (repro.obs.netscope).
+        #: Late-built parts (links, lazily created chanend ports) consult
+        #: this so their probes attach no matter the construction order.
+        self.netscope: "NetScope | None" = None
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -128,10 +133,11 @@ class SwallowFabric:
             forward.tracer = self.tracer
             backward.tracer = self.tracer
             self.links.extend((forward, backward))
-            self.link_records.append(
-                LinkRecord(node_a, node_b, direction_ab, direction_ba,
-                           forward, backward)
-            )
+            record = LinkRecord(node_a, node_b, direction_ab, direction_ba,
+                                forward, backward)
+            self.link_records.append(record)
+            if self.netscope is not None:
+                self.netscope.attach_record(record)
 
     # ------------------------------------------------------------------
     # Routing
@@ -400,7 +406,7 @@ class SwallowFabric:
         deterministic, so the nested state (and hence the bundle digest)
         is byte-stable across runs.
         """
-        return {
+        state = {
             "table_routing": self.routing_tables is not None,
             "switches": {
                 str(node_id): self.switches[node_id].snapshot_state()
@@ -408,6 +414,9 @@ class SwallowFabric:
             },
             "links": [link.snapshot_state() for link in self.links],
         }
+        if self.netscope is not None:
+            state["netscope"] = self.netscope.snapshot_state()
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Verify the replayed fabric against checkpointed state."""

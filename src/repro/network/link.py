@@ -26,6 +26,7 @@ from repro.sim import Simulator
 if TYPE_CHECKING:
     from repro.network.switch import InputPort
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.netscope import LinkProbe
     from repro.sim.engine import EventHandle
     from repro.sim.tracing import TraceRecorder
 
@@ -71,6 +72,8 @@ class HalfLink:
         self._sent_since_seize = 0
         #: Optional trace sink (set via SwallowFabric.set_tracer).
         self.tracer: "TraceRecorder | None" = None
+        #: Optional netscope probe (see :mod:`repro.obs.netscope`).
+        self.ns: "LinkProbe | None" = None
 
     # -- route allocation ---------------------------------------------------
 
@@ -180,6 +183,8 @@ class HalfLink:
         self.tokens_carried += 1
         self.bits_carried += TOKEN_BITS
         self.busy_time_ps += self.token_time_ps
+        if self.ns is not None:
+            self.ns.on_send(self.sim.now, TOKEN_BITS, self.token_time_ps)
         if token.span is not None:
             # Charge the wire bits to the originating span, per link
             # class, mirroring bits_carried: dropped and corrupted

@@ -35,6 +35,7 @@ from repro.sim import Frequency, Simulator
 if TYPE_CHECKING:
     from repro.network.fabric import SwallowFabric
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.netscope import PortProbe
     from repro.xs1.chanend import Chanend
 
 
@@ -74,9 +75,15 @@ class InputPort:
         self._header: list[Token] = []
         self._pump_pending = False
         self.routes_opened = 0
+        #: Per-port shares of the switch-level severed/discard counters,
+        #: so fault damage is attributable to the port it hit.
+        self.routes_severed = 0
+        self.tokens_discarded = 0
         #: True while discarding the rest of a severed route's packet
         #: (set when the route's output link died mid-run).
         self._discarding = False
+        #: Optional netscope probe (see :mod:`repro.obs.netscope`).
+        self.ns: "PortProbe | None" = None
 
     # -- token intake --------------------------------------------------------
 
@@ -84,6 +91,8 @@ class InputPort:
         """A token arrived from the upstream link."""
         assert len(self.buffer) < self.capacity, f"{self.name}: buffer overrun"
         self.buffer.append(token)
+        if self.ns is not None:
+            self.ns.on_depth(self.switch.sim.now, len(self.buffer))
         self.pump()
 
     # -- token source abstraction (overridden by ChanendPort) ----------------
@@ -122,6 +131,8 @@ class InputPort:
         """A queued allocation was granted by a closing route."""
         if self.route is not None and self.route.link is None:
             self.route.link = link
+        if self.ns is not None:
+            self.ns.unblock(self.switch.sim.now)
         self.pump()
 
     def _run(self) -> None:
@@ -157,6 +168,9 @@ class InputPort:
         route.header_to_send.clear()   # never launched; nothing to flush
         self._discarding = True
         self.switch.routes_severed += 1
+        self.routes_severed += 1
+        if self.ns is not None:
+            self.ns.block("severed", self.switch.sim.now)
         tracer = self.switch.fabric.tracer
         if tracer is not None:
             tracer.record(self.switch.sim.now, self.switch.name,
@@ -170,8 +184,11 @@ class InputPort:
                 return                  # more of the packet arrives later
             self._consume()
             self.switch.tokens_discarded += 1
+            self.tokens_discarded += 1
             if token.is_end:
                 self._discarding = False
+                if self.ns is not None:
+                    self.ns.unblock(self.switch.sim.now)
                 if self.route is not None:
                     self._close_route(self.route)
                 return
@@ -187,13 +204,17 @@ class InputPort:
         """
         self._header.clear()
         self._discarding = False
+        if self.ns is not None:
+            self.ns.unblock(self.switch.sim.now)
         while self._peek() is not None:
             self._consume()
             self.switch.tokens_discarded += 1
+            self.tokens_discarded += 1
         route, self.route = self.route, None
         if route is None:
             return
         self.switch.routes_severed += 1
+        self.routes_severed += 1
         tracer = self.switch.fabric.tracer
         if tracer is not None:
             tracer.record(self.switch.sim.now, self.switch.name,
@@ -233,6 +254,8 @@ class InputPort:
                 f"{switch.name}: no {direction.value} links toward node {dest.node}"
             )
         link = group.try_allocate(self, lane=self._crossing_lane(direction, dest))
+        if link is None and self.ns is not None:
+            self.ns.block("lane_busy", now)
         self.route = RouteState(dest, direction, link, None, list(header),
                                 opened_ps=now)
         return True
@@ -264,7 +287,15 @@ class InputPort:
         link = route.link
         assert link is not None
         if not link.can_send():
+            # A held link that is idle yet unsendable is out of credits:
+            # the far buffer is full and backpressure reaches this port.
+            # (A busy link is actively serializing — that is progress,
+            # not a stall.)
+            if self.ns is not None and not link.busy and link.credits == 0:
+                self.ns.block("credit_stall", self.switch.sim.now)
             return  # resumed by the link's delivery/credit callbacks
+        if self.ns is not None and self.ns.blocked_cause is not None:
+            self.ns.unblock(self.switch.sim.now)
         if route.header_to_send:
             link.send(route.header_to_send.pop(0))
             self.switch.tokens_forwarded += 1
@@ -285,8 +316,12 @@ class InputPort:
         if token is None:
             return
         if not target.deliver(token):
+            if self.ns is not None:
+                self.ns.block("dest_busy", self.switch.sim.now)
             self.switch.fabric.block_on_rx(target, self)
             return
+        if self.ns is not None and self.ns.blocked_cause is not None:
+            self.ns.unblock(self.switch.sim.now)
         self._consume()
         self.switch.tokens_delivered += 1
         tracer = self.switch.fabric.tracer
@@ -306,9 +341,13 @@ class InputPort:
         if route.link is not None:
             switch.groups[route.direction].release(route.link, self)
         self.route = None
+        if self.ns is not None and self.ns.blocked_cause is not None:
+            self.ns.unblock(switch.sim.now)
         switch.routes_closed += 1
         if switch.route_hold_hist is not None:
-            switch.route_hold_hist.observe(switch.sim.now - route.opened_ps)
+            hold_ps = switch.sim.now - route.opened_ps
+            switch.route_hold_hist.observe(hold_ps)
+            switch.direction_hold_hist(route.direction).observe(hold_ps)
         tracer = switch.fabric.tracer
         if tracer is not None:
             tracer.record(switch.sim.now, switch.name, "route_close",
@@ -383,6 +422,10 @@ class Switch:
         self.tokens_discarded = 0
         #: Route-hold-time histogram, armed by :meth:`register_metrics`.
         self.route_hold_hist = None
+        #: Per-direction route-hold histograms, created on first close in
+        #: each direction (see :meth:`direction_hold_hist`).
+        self._route_hold_dir: dict[Direction, object] = {}
+        self._registry: "MetricsRegistry | None" = None
 
     def route_policy(self, dest_node: int) -> Direction:
         """Next-hop direction toward ``dest_node`` (set by the fabric)."""
@@ -403,6 +446,8 @@ class Switch:
         port = InputPort(self, f"{self.name}.in{len(self.link_ports)}", upstream=link)
         link.sink = port
         self.link_ports.append(port)
+        if self.fabric.netscope is not None:
+            self.fabric.netscope.attach_port(port)
         return port
 
     def chanend_port(self, chanend: "Chanend") -> ChanendPort:
@@ -411,6 +456,8 @@ class Switch:
         if port is None:
             port = ChanendPort(self, chanend)
             self.chanend_ports[chanend.index] = port
+            if self.fabric.netscope is not None:
+                self.fabric.netscope.attach_port(port)
         return port
 
     @property
@@ -437,7 +484,8 @@ class Switch:
         ports: dict[str, dict] = {}
         for port in [*self.link_ports, *self.chanend_ports.values()]:
             if not (port.buffer or port.route is not None
-                    or port._discarding or port._header):
+                    or port._discarding or port._header
+                    or port.routes_severed or port.tokens_discarded):
                 continue
             ports[port.name] = {
                 "buffer": [[t.value, t.is_control] for t in port.buffer],
@@ -447,6 +495,8 @@ class Switch:
                                if port.route is not None else None),
                 "discarding": port._discarding,
                 "routes_opened": port.routes_opened,
+                "routes_severed": port.routes_severed,
+                "tokens_discarded": port.tokens_discarded,
             }
         return {
             "node": self.node_id,
@@ -465,14 +515,33 @@ class Switch:
 
         verify_state(self.snapshot_state(), state, self.name)
 
+    def direction_hold_hist(self, direction: Direction):
+        """The per-direction route-hold histogram, created on first close.
+
+        Labelled ``switch.route_hold_ps{direction=...,node=...}`` —
+        distinct label set from the per-switch rollup, so both series
+        coexist and route churn is attributable per output direction.
+        """
+        hist = self._route_hold_dir.get(direction)
+        if hist is None:
+            hist = self._registry.histogram(
+                "switch.route_hold_ps", node=str(self.node_id),
+                direction=direction.value,
+            )
+            self._route_hold_dir[direction] = hist
+        return hist
+
     def register_metrics(self, registry: "MetricsRegistry") -> None:
         """Publish this switch's routing/traffic series.
 
         Lazy series: ``switch.tokens_forwarded{node=...}``,
         ``switch.tokens_delivered``, ``switch.routes_opened``,
-        ``switch.routes_closed`` and the ``switch.routes_open`` gauge.
-        Also arms the eager ``switch.route_hold_ps`` histogram, observed
-        once per route close.
+        ``switch.routes_closed``, the ``switch.routes_open`` gauge, and
+        per-port fault attribution (``switch.port_routes_opened``,
+        ``switch.port_routes_severed``, ``switch.port_tokens_discarded``
+        with a ``port`` label, non-zero series only).  Also arms the
+        eager ``switch.route_hold_ps`` histogram — per switch here, per
+        direction lazily via :meth:`direction_hold_hist`.
         """
         labels = {"node": str(self.node_id)}
         registry.counter_fn("switch.tokens_forwarded",
@@ -492,6 +561,25 @@ class Switch:
         self.route_hold_hist = registry.histogram(
             "switch.route_hold_ps", **labels
         )
+        self._registry = registry
+
+        def _collect_ports(emit) -> None:
+            ports = [*self.link_ports,
+                     *(self.chanend_ports[i]
+                       for i in sorted(self.chanend_ports))]
+            for port in ports:
+                port_labels = {**labels, "port": port.name}
+                if port.routes_opened:
+                    emit("switch.port_routes_opened", port_labels,
+                         port.routes_opened)
+                if port.routes_severed:
+                    emit("switch.port_routes_severed", port_labels,
+                         port.routes_severed)
+                if port.tokens_discarded:
+                    emit("switch.port_tokens_discarded", port_labels,
+                         port.tokens_discarded)
+
+        registry.register_collector(_collect_ports)
 
     def __repr__(self) -> str:
         return f"<Switch {self.name} at {self.coord}>"

@@ -4,6 +4,11 @@ Each package prints as ``[ vv/hh ]`` — the vertical-layer node id over
 the horizontal-layer node id — with ``|`` for vertical-layer links,
 ``-`` for horizontal-layer links, ``=`` for off-board FFC cables, and
 ``x`` marking failed links.
+
+:func:`render_heat` overlays a netscope heat-map document
+(:meth:`repro.obs.netscope.NetScope.heatmap`) on the same grid: link
+glyphs scale with windowed utilization and each package cell shows its
+two nodes' traffic intensity — the spatial "which link was hot" view.
 """
 
 from __future__ import annotations
@@ -13,21 +18,39 @@ from repro.network.topology import SLICE_PACKAGES_X, SLICE_PACKAGES_Y, SwallowTo
 
 _CELL = 9
 
+#: Heat intensity ramp, cold to hot (index = level 0..7).
+HEAT_RAMP = " .:-=*#@"
 
-def _link_state(topology: SwallowTopology, node_a: int, node_b: int) -> str:
-    """'ok', 'failed', or 'ffc' for the first link pair between two nodes."""
+
+def _link_index(topology: SwallowTopology) -> dict[frozenset[int], object]:
+    """``{node pair} -> first LinkRecord`` — built once per render.
+
+    The grid walk asks about O(packages) pairs; scanning
+    ``fabric.link_records`` per cell made rendering O(packages x links).
+    One pass over the records keeps it linear (first record per pair
+    wins, matching the old scan's first-match semantics).
+    """
+    index: dict[frozenset[int], object] = {}
     for record in topology.fabric.link_records:
-        if {record.node_a, record.node_b} == {node_a, node_b}:
-            if not record.healthy:
-                return "failed"
-            if record.forward.spec is LINK_OFFBOARD_FFC:
-                return "ffc"
-            return "ok"
-    return "none"
+        index.setdefault(frozenset((record.node_a, record.node_b)), record)
+    return index
+
+
+def _link_state(index: dict, node_a: int, node_b: int) -> str:
+    """'ok', 'failed', or 'ffc' for the first link pair between two nodes."""
+    record = index.get(frozenset((node_a, node_b)))
+    if record is None:
+        return "none"
+    if not record.healthy:
+        return "failed"
+    if record.forward.spec is LINK_OFFBOARD_FFC:
+        return "ffc"
+    return "ok"
 
 
 def render_topology(topology: SwallowTopology) -> str:
     """A text drawing of the package grid, links, and slice boundaries."""
+    index = _link_index(topology)
     lines: list[str] = []
     for y in range(topology.packages_y):
         row_cells = []
@@ -38,7 +61,7 @@ def render_topology(topology: SwallowTopology) -> str:
             east = topology.packages.get((x + 1, y))
             if east is not None:
                 state = _link_state(
-                    topology, package.horizontal_node, east.horizontal_node
+                    index, package.horizontal_node, east.horizontal_node
                 )
                 joint = {"ok": "-", "ffc": "=", "failed": "x", "none": " "}[state]
                 row_cells.append(joint * 2)
@@ -49,7 +72,7 @@ def render_topology(topology: SwallowTopology) -> str:
                 package = topology.packages[(x, y)]
                 south = topology.packages[(x, y + 1)]
                 state = _link_state(
-                    topology, package.vertical_node, south.vertical_node
+                    index, package.vertical_node, south.vertical_node
                 )
                 bar = {"ok": "|", "ffc": "‖", "failed": "x", "none": " "}[state]
                 bars.append(f"  {bar}".ljust(_CELL + 2))
@@ -59,6 +82,89 @@ def render_topology(topology: SwallowTopology) -> str:
         "| - on-board   ‖ = FFC cable   x failed"
     )
     return "\n".join(lines + ["", legend])
+
+
+def _heat_level(value: float, peak: float) -> int:
+    """Intensity 0..7, linear in ``value / peak`` (0 stays 0)."""
+    if peak <= 0 or value <= 0:
+        return 0
+    return min(len(HEAT_RAMP) - 1,
+               1 + int((len(HEAT_RAMP) - 2) * value / peak))
+
+
+def render_heat(topology: SwallowTopology, heatmap: dict) -> str:
+    """Overlay a netscope heat-map document on the topology grid.
+
+    Link glyphs show the pair's hotter direction (fraction of elapsed
+    time spent serializing, scaled to the run's hottest link); package
+    cells show each node's switch throughput (tokens forwarded +
+    delivered, scaled to the hottest node).  ``x`` still marks failed
+    links.  Pure function of the document — byte-stable.
+    """
+    pair_util: dict[frozenset[int], float] = {}
+    pair_failed: dict[frozenset[int], bool] = {}
+    for row in heatmap["links"]:
+        key = frozenset((row["src"], row["dst"]))
+        pair_util[key] = max(pair_util.get(key, 0.0), row["utilization"])
+        pair_failed[key] = pair_failed.get(key, False) or row["failed"]
+    node_tokens = {
+        row["node"]: row["tokens_forwarded"] + row["tokens_delivered"]
+        for row in heatmap["nodes"]
+    }
+    peak_util = max(pair_util.values(), default=0.0)
+    peak_tokens = max(node_tokens.values(), default=0)
+
+    def node_char(node_id: int) -> str:
+        return HEAT_RAMP[_heat_level(node_tokens.get(node_id, 0), peak_tokens)]
+
+    def link_char(node_a: int, node_b: int) -> str:
+        key = frozenset((node_a, node_b))
+        if key not in pair_util:
+            return " "
+        if pair_failed[key]:
+            return "x"
+        return HEAT_RAMP[_heat_level(pair_util[key], peak_util)]
+
+    lines: list[str] = []
+    for y in range(topology.packages_y):
+        row_cells = []
+        for x in range(topology.packages_x):
+            package = topology.packages[(x, y)]
+            cell = (f"[ {node_char(package.vertical_node)}/"
+                    f"{node_char(package.horizontal_node)} ]")
+            row_cells.append(cell.ljust(_CELL - 2))
+            east = topology.packages.get((x + 1, y))
+            if east is not None:
+                glyph = link_char(package.horizontal_node,
+                                  east.horizontal_node)
+                row_cells.append(glyph * 2)
+        lines.append("".join(row_cells).rstrip())
+        if y + 1 < topology.packages_y:
+            bars = []
+            for x in range(topology.packages_x):
+                package = topology.packages[(x, y)]
+                south = topology.packages[(x, y + 1)]
+                glyph = link_char(package.vertical_node, south.vertical_node)
+                bars.append(f"  {glyph}".ljust(_CELL))
+            lines.append("".join(bars).rstrip())
+    elapsed_us = heatmap["elapsed_ps"] / 1e6
+    legend = [
+        "",
+        f"heat ramp '{HEAT_RAMP}' cold->hot   x failed link",
+        f"links: peak utilization {peak_util:.1%} of {elapsed_us:.3f} us   "
+        f"nodes: peak {peak_tokens} tokens through switch",
+    ]
+    cut = heatmap.get("slice_cut") or {}
+    if cut.get("boundaries"):
+        rows = ", ".join(
+            f"({b['from'][0]},{b['from'][1]})->({b['to'][0]},{b['to'][1]}) "
+            f"{b['tokens']} tok"
+            + (f" gap>={b['min_gap_ps']} ps" if b["min_gap_ps"] is not None
+               else "")
+            for b in cut["boundaries"]
+        )
+        legend.append(f"slice cut: {rows}")
+    return "\n".join(lines + legend)
 
 
 def render_summary(topology: SwallowTopology) -> str:

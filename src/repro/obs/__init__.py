@@ -13,7 +13,10 @@ Three views into a running (or finished) simulation:
   sim-time/wall-time ratio;
 * :mod:`repro.obs.perf` — the performance observatory: an append-only
   perf-history ledger with a rolling-baseline regression gate, and
-  :class:`~repro.obs.perf.RunHeartbeat` streaming progress snapshots.
+  :class:`~repro.obs.perf.RunHeartbeat` streaming progress snapshots;
+* :mod:`repro.obs.netscope` — the fabric observatory: windowed
+  per-link/per-switch telemetry, blocked-route wait attribution by
+  cause, spatial heat-map export and slice-cut traffic reports.
 
 The assembled platform wires everything up:
 ``SwallowSystem(...).metrics`` is a live registry,
@@ -35,6 +38,18 @@ from repro.obs.energyscope import (
     AttributionRow,
     EnergyAttribution,
     attribute_energy,
+)
+from repro.obs.netscope import (
+    CAUSES,
+    DEFAULT_WINDOW_PS,
+    FLEET_SCHEMA,
+    HEATMAP_SCHEMA,
+    LinkProbe,
+    NetScope,
+    PortProbe,
+    SliceBoundary,
+    fleet_heatmap,
+    merge_heatmaps,
 )
 from repro.obs.perf import (
     WALL_FIELDS,
@@ -69,20 +84,28 @@ from repro.obs.watch import PowerWatchpoint, WatchEvent
 
 __all__ = [
     "AttributionRow",
+    "CAUSES",
     "Comparison",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_WINDOW_PS",
     "EnergyAttribution",
+    "FLEET_SCHEMA",
     "Gauge",
+    "HEATMAP_SCHEMA",
     "Histogram",
     "KERNEL_SOURCE",
+    "LinkProbe",
     "Metric",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NetScope",
     "PerfHistory",
     "PerfRecord",
+    "PortProbe",
     "PowerWatchpoint",
     "RunHeartbeat",
+    "SliceBoundary",
     "SimProfile",
     "SimProfiler",
     "Span",
@@ -95,7 +118,9 @@ __all__ = [
     "chrome_trace_json",
     "compare_against_history",
     "config_digest",
+    "fleet_heatmap",
     "heartbeat_core",
+    "merge_heatmaps",
     "profile_chrome_trace",
     "records_from_profile",
     "render_history_report",

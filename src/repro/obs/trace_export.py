@@ -22,6 +22,7 @@ import json
 from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:
+    from repro.obs.netscope import NetScope
     from repro.obs.profiling import SimProfile
     from repro.obs.spans import SpanRecorder
     from repro.sim.tracing import TraceRecord
@@ -35,6 +36,7 @@ CATEGORY_PIDS: dict[str, int] = {
     "other": 5,
     "spans": 6,
     "profiler": 7,
+    "netscope": 8,
 }
 
 
@@ -150,6 +152,7 @@ def _span_events(spans: "SpanRecorder") -> list[dict[str, Any]]:
 def to_chrome_trace(
     records: Iterable["TraceRecord"],
     spans: "SpanRecorder | None" = None,
+    netscope: "NetScope | None" = None,
 ) -> dict[str, Any]:
     """Build a Chrome trace-event document from trace records.
 
@@ -159,7 +162,10 @@ def to_chrome_trace(
     microseconds (``time_ps / 1e6``), the unit the trace viewers expect.
     With a :class:`~repro.obs.spans.SpanRecorder`, span slices and
     cross-span flow arrows are added on a dedicated process (see
-    :func:`_span_events`).
+    :func:`_span_events`); with a :class:`~repro.obs.netscope.NetScope`,
+    its windowed utilization / queue-depth / blocked-time series are
+    added as counter tracks (``"ph": "C"``) so contention renders as
+    area charts alongside the span slices.
     """
     records = list(records)
     sources: dict[str, str] = {}
@@ -197,16 +203,19 @@ def to_chrome_trace(
         })
     if spans is not None:
         events.extend(_span_events(spans))
+    if netscope is not None:
+        events.extend(netscope.counter_events())
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
 def chrome_trace_json(
     records: Iterable["TraceRecord"],
     spans: "SpanRecorder | None" = None,
+    netscope: "NetScope | None" = None,
 ) -> str:
     """The Chrome trace document as canonical (byte-stable) JSON."""
-    return json.dumps(to_chrome_trace(records, spans=spans), sort_keys=True,
-                      separators=(",", ":"))
+    return json.dumps(to_chrome_trace(records, spans=spans, netscope=netscope),
+                      sort_keys=True, separators=(",", ":"))
 
 
 def write_jsonl(records: Iterable["TraceRecord"], path) -> None:
@@ -218,10 +227,11 @@ def write_jsonl(records: Iterable["TraceRecord"], path) -> None:
 def write_chrome_trace(
     records: Iterable["TraceRecord"], path,
     spans: "SpanRecorder | None" = None,
+    netscope: "NetScope | None" = None,
 ) -> None:
     """Write the Chrome trace-event export to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(chrome_trace_json(records, spans=spans))
+        fh.write(chrome_trace_json(records, spans=spans, netscope=netscope))
 
 
 # ---------------------------------------------------------------------------
