@@ -1,0 +1,100 @@
+"""The policy-zoo ablation: schedulers x fault campaigns x backup depth.
+
+Runs the full :mod:`repro.nos.ablation` sweep — every zoo bundle
+against seeded fault campaigns of rising severity at k ∈ {0, 1, 2} —
+and writes the canonical report to ``benchmarks/out/policy_zoo.json``.
+
+Asserted properties:
+
+* **k-fault guarantee** — every ``kfault`` cell survives; cells with
+  ``kills ≤ k`` finish with zero deadline misses and zero sheds, cells
+  beyond k degrade by shedding instead of raising.
+* **the guarantee costs something** — at least one plain-budget policy
+  fails a severe campaign the kfault policy survives.
+* **byte stability** — a repeated sub-matrix produces an identical
+  canonical report (CI re-checks this on the full smoke matrix).
+"""
+
+import json
+import pathlib
+
+from repro.nos.ablation import (
+    DEFAULT_CAMPAIGNS,
+    render,
+    report_json,
+    run_ablation,
+)
+
+OUT = pathlib.Path(__file__).parent / "out"
+
+
+def run(report_table):
+    report = run_ablation()
+    OUT.mkdir(exist_ok=True)
+    (OUT / "policy_zoo.json").write_text(report_json(report))
+
+    # Byte stability: a repeated sub-matrix must reproduce exactly.
+    subset = dict(
+        policies=("least_loaded", "kfault"),
+        campaigns=DEFAULT_CAMPAIGNS[:2],
+        ks=(1,),
+    )
+    identical = report_json(run_ablation(**subset)) == report_json(
+        run_ablation(**subset)
+    )
+
+    rows = [
+        [
+            name,
+            f"{row['survived']}/{row['cells']}",
+            row["deadline_misses"],
+            row["sheds"],
+            row["replacements"],
+            f"{row['energy_j'] * 1e6:.1f}",
+        ]
+        for name, row in report["summary"].items()
+    ]
+    report_table(
+        "policy_zoo",
+        "Policy zoo: deadline misses vs energy vs fault survival",
+        ["policy", "survived", "misses", "sheds", "replacements",
+         "energy uJ"],
+        rows,
+        notes="Cells sweep 3 seeded fault campaigns (1..3 core kills "
+              "from 5 us) x k in 0..2; kfault reserves k backup slots "
+              "per task and sheds lowest-criticality-first beyond k. "
+              f"Report digest {report['digest'][:12]}, "
+              f"{len(report['cells'])} cells.",
+    )
+    return report, identical
+
+
+def test_policy_zoo(benchmark, report_table):
+    report, identical = benchmark.pedantic(
+        run, args=(report_table,), rounds=1, iterations=1
+    )
+    assert identical, "repeated ablation diverged byte-wise"
+
+    cells = report["cells"]
+    kfault = [cell for cell in cells if cell["policy"] == "kfault"]
+    assert kfault, "zoo lost its kfault bundle"
+    # The k-fault guarantee: always survive; no misses within budget.
+    assert all(cell["survived"] for cell in kfault)
+    for cell in kfault:
+        if cell["kills"] <= cell["k"]:
+            assert cell["deadline"]["miss"] == 0, cell
+            assert cell["shed_tasks"] == [], cell
+    # Degradation beyond k sheds deterministically somewhere.
+    assert any(
+        cell["shed_tasks"] for cell in kfault if cell["kills"] > cell["k"]
+    )
+    # The guarantee buys survival a plain fault budget cannot.
+    plain = [cell for cell in cells if cell["policy"] == "least_loaded"]
+    assert any(not cell["survived"] for cell in plain)
+    # Every cell scores the three ablation axes.
+    for cell in cells:
+        assert "miss_rate" in cell and "energy_j" in cell
+        assert isinstance(cell["survived"], bool)
+    # The written report parses back to the same digest.
+    on_disk = json.loads((OUT / "policy_zoo.json").read_text())
+    assert on_disk["digest"] == report["digest"]

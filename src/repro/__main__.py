@@ -845,6 +845,51 @@ def cmd_farm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_policies(args: argparse.Namespace) -> int:
+    """Run the scheduler/DVFS policy-zoo ablation and report it."""
+    from repro.nos.ablation import (
+        DEFAULT_KS,
+        DEFAULT_POLICIES,
+        render,
+        report_json,
+        run_ablation,
+    )
+
+    policies = (
+        tuple(name.strip() for name in args.policies.split(","))
+        if args.policies else DEFAULT_POLICIES
+    )
+    ks = (
+        tuple(int(value) for value in args.ks.split(","))
+        if args.ks else DEFAULT_KS
+    )
+    campaigns = tuple(
+        {
+            "seed": index,
+            "kills": min(index, 4),
+            "kill_from_us": 5.0,
+            "kill_every_us": 6.0,
+        }
+        for index in range(1, args.campaigns + 1)
+    )
+    report = run_ablation(
+        policies=policies,
+        campaigns=campaigns,
+        ks=ks,
+        base={"tasks": args.tasks},
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report_json(report))
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render(report))
+        if args.out:
+            print(f"wrote policy-zoo report to {args.out}")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     """Argparse type for values that must be >= 1."""
     value = int(text)
@@ -1126,6 +1171,28 @@ def main(argv: list[str] | None = None) -> int:
     farm_report_cmd.add_argument("--json", action="store_true",
                                  help="emit the report as JSON on stdout")
     farm.set_defaults(func=cmd_farm)
+    policies = subparsers.add_parser(
+        "policies",
+        help="run the scheduler/DVFS policy-zoo ablation "
+             "(policies x fault campaigns x k)",
+    )
+    policies.add_argument("--policies", default=None, metavar="NAMES",
+                          help="comma-separated zoo bundle names "
+                               "(default: the whole zoo)")
+    policies.add_argument("--ks", default=None, metavar="KS",
+                          help="comma-separated backup depths "
+                               "(default: 0,1,2)")
+    policies.add_argument("--campaigns", type=_positive_int, default=3,
+                          metavar="N",
+                          help="seeded fault campaigns: campaign i kills "
+                               "min(i, 4) cores (default 3)")
+    policies.add_argument("--tasks", type=_positive_int, default=24,
+                          help="real-time tasks per cell (default 24)")
+    policies.add_argument("--out", default=None, metavar="PATH",
+                          help="write the canonical JSON report here")
+    policies.add_argument("--json", action="store_true",
+                          help="emit the report as JSON on stdout")
+    policies.set_defaults(func=cmd_policies)
     perf = subparsers.add_parser(
         "perf",
         help="performance observatory: perf-history ledger + regression gate",

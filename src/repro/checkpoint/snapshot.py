@@ -75,6 +75,7 @@ class Snapshot:
         campaign: "FaultCampaign | None" = None,
         nos: "NanoOS | None" = None,
         watchdog: "Watchdog | None" = None,
+        governor: object | None = None,
         setup: dict | None = None,
     ) -> "Snapshot":
         """Capture the platform (and any runtime layers) right now.
@@ -93,6 +94,8 @@ class Snapshot:
             state["nos"] = nos.snapshot_state()
         if watchdog is not None:
             state["watchdog"] = watchdog.snapshot_state()
+        if governor is not None:
+            state["governor"] = governor.snapshot_state()
         body = {
             "schema": SCHEMA_VERSION,
             "setup": setup or {},
@@ -183,6 +186,7 @@ class Snapshot:
         campaign: "FaultCampaign | None" = None,
         nos: "NanoOS | None" = None,
         watchdog: "Watchdog | None" = None,
+        governor: object | None = None,
     ) -> None:
         """Check a replayed run against this snapshot, field by field.
 
@@ -199,6 +203,8 @@ class Snapshot:
             nos.restore_state(state["nos"])
         if watchdog is not None and "watchdog" in state:
             watchdog.restore_state(state["watchdog"])
+        if governor is not None and "governor" in state:
+            governor.restore_state(state["governor"])
 
     def __repr__(self) -> str:
         return (

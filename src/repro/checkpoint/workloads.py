@@ -29,6 +29,7 @@ class RunContext:
     campaign: object | None = None
     nos: object | None = None
     watchdog: object | None = None
+    governor: object | None = None
     #: Words actually delivered to the workload's sink, in order.
     received: list = field(default_factory=list)
     #: What ``received`` must equal for a fully successful run.
@@ -42,6 +43,7 @@ class RunContext:
             campaign=self.campaign,
             nos=self.nos,
             watchdog=self.watchdog,
+            governor=self.governor,
             setup=setup,
         )
 
@@ -52,6 +54,7 @@ class RunContext:
             campaign=self.campaign,
             nos=self.nos,
             watchdog=self.watchdog,
+            governor=self.governor,
         )
 
     def final_report(self) -> dict:
@@ -77,6 +80,8 @@ class RunContext:
         )
         if self.watchdog is not None:
             report["watchdog"] = self.watchdog.snapshot_state()
+        if self.governor is not None:
+            report["governor"] = self.governor.snapshot_state()
         report["state_digest"] = content_digest(self.system.snapshot_state())
         return report
 
@@ -309,4 +314,119 @@ def _watchdog_stream(params: dict) -> RunContext:
         watchdog=watchdog,
         received=received,
         expected=[i * 7 + 1 for i in range(words)],
+    )
+
+
+@register_workload("policy_rt")
+def _policy_rt(params: dict) -> RunContext:
+    """A seeded real-time task set under a policy-zoo bundle and core kills.
+
+    The ablation harness's cell: ``tasks`` compute-bound tasks with
+    seeded WCETs, deadlines and criticalities are placed by the zoo
+    bundle named by ``policy`` (``k`` parameterises the ``kfault``
+    bundle; every other bundle gets ``fault_budget = k``), while a
+    campaign seeded by ``seed`` kills ``kills`` cores at staggered
+    times.  Everything random flows through the two recorded seeds, so
+    the run — placements, restarts, sheds, deadline verdicts, energy —
+    is a pure function of its params.
+
+    ``governor_budget_mw`` additionally installs a checkpoint-aware
+    :class:`~repro.core.governor.PowerGovernor` on core 0's rail.
+    """
+    import random
+
+    from repro.core.governor import PowerGovernor
+    from repro.core.nos import NanoOS
+    from repro.core.platform import SwallowSystem
+    from repro.faults.campaign import FaultCampaign
+    from repro.nos.policies import build_policy
+    from repro.xs1.behavioral import Compute
+
+    system = SwallowSystem(**_system_kwargs(params))
+    _maybe_netscope(system, params)
+
+    policy_name = str(params.get("policy", "least_loaded"))
+    k = int(params.get("k", 1))
+    scheduler, dvfs = build_policy(policy_name, k=k)
+    if policy_name == "kfault":
+        # The k-fault policy owns its tolerance: ≤ k deaths heal via
+        # reserved backups, beyond that it sheds instead of raising.
+        fault_budget = None
+    else:
+        budget = params.get("fault_budget", k)
+        fault_budget = None if budget is None else int(budget)
+    nos = NanoOS(
+        system,
+        fault_budget=fault_budget,
+        spans=bool(params.get("spans", False)),
+        policy=scheduler,
+        dvfs=dvfs,
+    )
+
+    count = int(params.get("tasks", 24))
+    taskset = random.Random(int(params.get("taskset_seed", 1234)))
+    for index in range(count):
+        wcet_instr = taskset.randrange(2_000, 6_001)
+        # Tight enough that a frequency-scaled run can miss, loose
+        # enough that a full-speed restart after a ≤ k kill cannot
+        # (worst case: restart at 34 us + 48 us WCET < 90 us floor).
+        deadline_us = round(taskset.uniform(90.0, 220.0), 1)
+        criticality = taskset.randrange(0, 3)
+
+        def factory(core, instructions=wcet_instr):
+            def body():
+                yield Compute(instructions)
+            return body()
+
+        nos.submit(
+            factory,
+            name=f"rt.{index}",
+            deadline_us=deadline_us,
+            # One issue slot per 4 clock cycles at ≤ 4 threads/core.
+            wcet_cycles=4 * wcet_instr,
+            criticality=criticality,
+        )
+
+    kills = int(params.get("kills", 0))
+    seed = int(params.get("seed", 0))
+    rng = random.Random(seed)
+    kill_from_us = float(params.get("kill_from_us", 10.0))
+    kill_every_us = float(params.get("kill_every_us", 12.0))
+    victims = rng.sample(
+        [core.node_id for core in system.cores], kills
+    ) if kills else []
+    faults = [
+        {
+            "kind": "core_kill",
+            "at_us": kill_from_us + index * kill_every_us,
+            "node_id": node_id,
+        }
+        for index, node_id in enumerate(victims)
+    ]
+    campaign = FaultCampaign.from_spec(system, {
+        "seed": seed,
+        "faults": faults,
+        "heal": bool(params.get("heal", True)),
+    }, nos=nos)
+    campaign.masked.update(int(i) for i in params.get("masked", ()))
+    campaign.register_metrics(system.metrics)
+    nos.register_metrics(system.metrics)
+    campaign.arm()
+
+    governor = None
+    if params.get("governor_budget_mw") is not None:
+        governor = PowerGovernor(
+            system.measurement_board(0, 0),
+            channel=int(params.get("governor_channel", 0)),
+            budget_mw=float(params["governor_budget_mw"]),
+        )
+        governor.install(
+            system.cores[0],
+            iterations=int(params.get("governor_samples", 8)),
+        )
+    return RunContext(
+        system=system,
+        campaign=campaign,
+        nos=nos,
+        governor=governor,
     )

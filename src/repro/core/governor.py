@@ -87,3 +87,33 @@ class PowerGovernor:
         frequency = Frequency.mhz(self.ladder_mhz[self._level])
         for core in self.governed_cores:
             core.set_frequency(frequency)
+
+    # -- checkpointing (see repro.checkpoint) ------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Canonical governor state: configuration, ladder level, log.
+
+        Everything a deterministic replay must reproduce: the budget
+        and governed rail (configuration), the current ladder level,
+        and the full sample/adjustment log.
+        """
+        return {
+            "channel": self.channel,
+            "budget_mw": self.budget_mw,
+            "period_cycles": self.period_cycles,
+            "ladder_mhz": [float(f) for f in self.ladder_mhz],
+            "headroom": self.headroom,
+            "level": self._level,
+            "governed_nodes": [
+                core.node_id for core in self.governed_cores
+            ],
+            "samples_mw": list(self.log.samples_mw),
+            "frequencies_mhz": list(self.log.frequencies_mhz),
+            "adjustments": self.log.adjustments,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Verify the replayed governor against checkpointed state."""
+        from repro.sim.state import verify_state
+
+        verify_state(self.snapshot_state(), state, "governor")

@@ -96,6 +96,8 @@ class Watchdog:
         self.heartbeats: dict[int, int] = {}
         self.fired = 0
         self.checks = 0
+        #: Firings whose cause was a missed completion deadline.
+        self.deadline_misses = 0
         #: Deterministic ladder journal: one dict per action, in firing
         #: order, with simulation timestamps.
         self.actions: list[dict] = []
@@ -187,6 +189,8 @@ class Watchdog:
     def _fire(self, watch: _Watch, cause: str) -> None:
         self.fired += 1
         watch.fired += 1
+        if cause == "deadline":
+            self.deadline_misses += 1
         handle = watch.handle
         now = self.system.sim.now
         if self.system.tracer is not None:
@@ -236,6 +240,22 @@ class Watchdog:
         ``watchdog.watched`` series (lazily collected)."""
         registry.counter_fn("watchdog.fired", lambda: self.fired)
         registry.counter_fn("watchdog.checks", lambda: self.checks)
+        registry.counter_fn(
+            "watchdog.deadline_miss", lambda: self.deadline_misses
+        )
+
+        def escalations(emit) -> None:
+            # One ``watchdog.escalations{stage=...}`` series per recovery
+            # rung actually exercised, from the deterministic ladder
+            # journal — nothing is emitted for rungs never climbed.
+            by_stage: dict[str, int] = {}
+            for action in self.actions:
+                stage = action["rung"]
+                by_stage[stage] = by_stage.get(stage, 0) + 1
+            for stage in sorted(by_stage):
+                emit("watchdog.escalations", {"stage": stage}, by_stage[stage])
+
+        registry.register_collector(escalations)
         registry.gauge_fn(
             "watchdog.watched",
             lambda: sum(1 for w in self.watches.values() if not w.handle.done),
@@ -249,6 +269,7 @@ class Watchdog:
             "armed": self._armed,
             "checks": self.checks,
             "fired": self.fired,
+            "deadline_misses": self.deadline_misses,
             "heartbeats": {
                 str(task_id): count
                 for task_id, count in sorted(self.heartbeats.items())

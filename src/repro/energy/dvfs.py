@@ -50,6 +50,35 @@ def dvfs_power_mw(f_mhz: float, utilization: float = 1.0) -> float:
     return power_at_voltage_mw(f_mhz, min_voltage(f_mhz), utilization)
 
 
+#: Discrete operating points a DVFS policy may step between, lowest
+#: first.  Matches the PowerGovernor's frequency ladder: 71 MHz is the
+#: 0.6 V anchor, 500 MHz the 0.95 V maximum.
+LADDER_MHZ = (71.0, 125.0, 250.0, 375.0, 500.0)
+
+
+def ladder_clamp(required_mhz: float, ladder=LADDER_MHZ) -> float:
+    """Smallest ladder frequency able to supply ``required_mhz``.
+
+    Demand above the top rung clamps to it — the policy then runs flat
+    out and the schedule's feasibility is the scheduler's problem.
+    """
+    for f_mhz in ladder:
+        if f_mhz >= required_mhz:
+            return f_mhz
+    return ladder[-1]
+
+
+def dvfs_operating_point(f_mhz: float):
+    """The (Frequency, voltage) pair for running at ``f_mhz``.
+
+    Voltage is the §III.B minimum for the frequency — what
+    :meth:`XCore.set_dvfs_operating_point` expects.
+    """
+    from repro.sim import Frequency
+
+    return Frequency.mhz(f_mhz), min_voltage(f_mhz)
+
+
 def dvfs_saving_fraction(f_mhz: float) -> float:
     """Fraction of power saved by voltage scaling at ``f_mhz`` (loaded)."""
     base = active_power_mw(f_mhz)

@@ -96,6 +96,13 @@ class MatrixSpec:
     listed order, so the same matrix always yields the same job list in
     the same order — submission order is part of the campaign's
     deterministic identity.
+
+    An axis value may also be a *dict*, in which case it is a **bundle**:
+    its keys merge into the job's params instead of binding the axis
+    name.  Bundled axes sweep co-varying parameters as one dimension —
+    e.g. a ``campaign`` axis of ``[{"seed": 1, "kills": 1},
+    {"seed": 2, "kills": 2}]`` varies seed and kill count together
+    rather than as a 2x2 product.
     """
 
     workload: str
@@ -130,7 +137,11 @@ class MatrixSpec:
         seen: set[str] = set()
         for combo in itertools.product(*(self.sweep[axis] for axis in axes)):
             params = dict(self.base)
-            params.update(zip(axes, combo))
+            for axis, value in zip(axes, combo):
+                if isinstance(value, dict):
+                    params.update(value)
+                else:
+                    params[axis] = value
             spec = JobSpec(self.workload, params)
             if spec.digest not in seen:
                 seen.add(spec.digest)

@@ -1,0 +1,25 @@
+"""nOS runtime namespace: the task runtime plus its pluggable policies.
+
+The runtime itself lives in :mod:`repro.core.nos` (it predates this
+package); :mod:`repro.nos.policies` adds the pluggable scheduler/DVFS
+policy layer.  This package re-exports both so user code can write::
+
+    from repro.nos import NanoOS, TaskHandle
+    from repro.nos.policies import build_policy
+
+Re-exports of the runtime classes are lazy (module ``__getattr__``)
+because :mod:`repro.core.nos` imports the policy layer at module scope —
+an eager import here would be circular.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MapJob", "NanoOS", "TaskHandle"]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        from repro.core import nos as _runtime
+
+        return getattr(_runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

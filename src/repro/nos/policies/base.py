@@ -1,0 +1,140 @@
+"""Policy interfaces: how NanoOS delegates placement and frequency.
+
+A :class:`SchedulerPolicy` answers the runtime's three questions —
+*where does a new task go*, *where does an orphan of a dead core go*,
+and *when healing is no longer possible, what do we drop* — against a
+candidate list the runtime has already filtered to healthy cores with
+a free hardware thread.  A :class:`DVFSPolicy` listens to the task
+lifecycle and steps every core's (frequency, voltage) operating point
+along the ladder of :mod:`repro.energy.dvfs`.
+
+Policies must be deterministic: same submissions, same choices.  All
+tie-breaks bottom out on ``core.node_id`` / ``task_id``, never on
+iteration order of a set or dict built from object identity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # circular at runtime: core.nos imports this package
+    from repro.core.nos import NanoOS, TaskHandle
+    from repro.xs1.core import XCore
+
+#: Absolute-deadline sentinel for tasks with no deadline: sorts after
+#: every real deadline (2^62 ps ~ 53 days of simulated time).
+NO_DEADLINE_PS = 1 << 62
+
+
+class PolicyError(Exception):
+    """A policy was asked something it cannot answer."""
+
+
+class SchedulerPolicy:
+    """Base scheduler policy: subclasses override the hooks they need."""
+
+    #: Registry name; also what ``snapshot_state()`` reports.
+    name = "base"
+
+    def on_submit(self, nos: "NanoOS", handle: "TaskHandle") -> None:
+        """Called after ``handle`` is placed (reserve backups, etc.)."""
+
+    def choose(
+        self,
+        nos: "NanoOS",
+        candidates: Sequence["XCore"],
+        handle: "TaskHandle | None" = None,
+    ) -> "XCore":
+        """Pick the core for a new task.
+
+        ``candidates`` is non-empty, healthy, and has spare thread
+        capacity; the runtime raises before consulting the policy
+        otherwise.
+        """
+        raise NotImplementedError
+
+    def replacement(
+        self,
+        nos: "NanoOS",
+        candidates: Sequence["XCore"],
+        handle: "TaskHandle",
+    ) -> "XCore":
+        """Pick the core an orphan restarts on (default: same as choose)."""
+        return self.choose(nos, candidates, handle)
+
+    def wants_degrade(self, nos: "NanoOS") -> bool:
+        """True when the next core death should shed work, not heal."""
+        return False
+
+    def degrade(
+        self,
+        nos: "NanoOS",
+        core: "XCore",
+        orphans: Sequence["TaskHandle"],
+    ) -> "list[TaskHandle] | None":
+        """Tasks to shed (in shed order) when healing is off the table.
+
+        Returning ``None`` tells the runtime to raise its fault-budget
+        error instead — the pre-policy behaviour.
+        """
+        return None
+
+    def snapshot_state(self) -> dict:
+        """Canonical policy state for checkpoint verification."""
+        return {"name": self.name}
+
+
+class DVFSPolicy:
+    """Base DVFS policy: tracks the machine-wide operating point.
+
+    Concrete policies compute a required frequency on lifecycle events
+    and call :meth:`_apply`, which clamps to the ladder, programs every
+    healthy core through :meth:`XCore.set_dvfs_operating_point` (the
+    §III.B minimum voltage for that frequency), and records the step.
+    """
+
+    name = "none"
+
+    def __init__(self, ladder_mhz: Sequence[float] | None = None):
+        from repro.energy.dvfs import LADDER_MHZ
+
+        self.ladder_mhz = tuple(ladder_mhz or LADDER_MHZ)
+        if list(self.ladder_mhz) != sorted(self.ladder_mhz):
+            raise PolicyError("frequency ladder must be ascending")
+        self.steps = 0
+        #: One row per applied step: ``{"time_ps", "f_mhz"}``.
+        self.step_log: list[dict] = []
+        self.current_mhz: float | None = None
+
+    def attach(self, nos: "NanoOS") -> None:
+        """Called once when the runtime adopts this policy."""
+
+    def on_task_submitted(self, nos: "NanoOS", handle: "TaskHandle") -> None:
+        """A task entered the system."""
+
+    def on_task_finished(self, nos: "NanoOS", handle: "TaskHandle") -> None:
+        """A task ran to completion."""
+
+    def _apply(self, nos: "NanoOS", f_mhz: float) -> None:
+        """Step every healthy core to ``f_mhz`` (no-op if already there)."""
+        from repro.energy.dvfs import dvfs_operating_point, ladder_clamp
+
+        f_mhz = ladder_clamp(f_mhz, self.ladder_mhz)
+        if self.current_mhz == f_mhz:
+            return
+        frequency, voltage = dvfs_operating_point(f_mhz)
+        for core in nos.system.cores:
+            if not core.failed:
+                core.set_dvfs_operating_point(frequency, voltage)
+        self.current_mhz = f_mhz
+        self.steps += 1
+        self.step_log.append({"time_ps": nos.system.sim.now, "f_mhz": f_mhz})
+
+    def snapshot_state(self) -> dict:
+        """Canonical policy state for checkpoint verification."""
+        return {
+            "name": self.name,
+            "steps": self.steps,
+            "current_mhz": self.current_mhz,
+            "step_log": [dict(row) for row in self.step_log],
+        }

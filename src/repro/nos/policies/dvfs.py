@@ -1,0 +1,184 @@
+"""DVFS policies: demand-driven and measurement-driven frequency steps.
+
+The demand-driven pair follow the classic real-time DVFS taxonomy:
+
+* :class:`CycleConservingDVFS` (CC-EDF) budgets each task at its WCET
+  and rescales on arrivals/completions to the worst per-core utilisation
+  ``Σ wcet_cycles / period_us`` (cycles per µs *is* MHz, which keeps the
+  arithmetic exact and integer-friendly).
+* :class:`LookAheadDVFS` (LA-EDF) is the aggressive variant: it uses
+  *remaining* cycles and actual deadlines, running at the maximum work
+  density over all deadline prefixes — slower now, catching up later.
+
+:class:`ThresholdDVFS` closes the paper's measure-and-adapt loop
+instead: it arms a :class:`~repro.obs.watch.PowerWatchpoint` over the
+measurement daughter-board and steps the ladder down/up when the
+windowed power mean crosses a budget — frequency decisions driven by
+*measured* power through the existing watchpoint callback path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.nos.policies.base import DVFSPolicy, PolicyError
+
+if TYPE_CHECKING:
+    from repro.core.nos import NanoOS, TaskHandle
+
+
+def _live_rt_tasks(nos: "NanoOS"):
+    """Unfinished, unshed tasks that carry a WCET budget.
+
+    A finishing task gets its ``finish_time_ps`` stamped *before* the
+    policy callback runs (its generator is still unwinding, so ``done``
+    has not flipped yet) — treat it as retired, or completions would
+    never release their demand.
+    """
+    return (
+        t for t in nos.tasks
+        if not t.done and not t.shed and t.finish_time_ps is None
+        and t.wcet_cycles is not None
+    )
+
+
+class CycleConservingDVFS(DVFSPolicy):
+    """CC-EDF: rescale to worst per-core WCET utilisation on each event."""
+
+    name = "ccedf"
+
+    def attach(self, nos):
+        self._rescale(nos)
+
+    def on_task_submitted(self, nos, handle):
+        self._rescale(nos)
+
+    def on_task_finished(self, nos, handle):
+        self._rescale(nos)
+
+    def _rescale(self, nos):
+        demand_mhz: dict[int, float] = {}
+        for task in _live_rt_tasks(nos):
+            horizon_us = task.period_us or task.deadline_us
+            if not horizon_us:
+                continue
+            node = task.core.node_id
+            demand_mhz[node] = (
+                demand_mhz.get(node, 0.0) + task.wcet_cycles / horizon_us
+            )
+        required = max(demand_mhz.values(), default=self.ladder_mhz[0])
+        self._apply(nos, required)
+
+
+class LookAheadDVFS(DVFSPolicy):
+    """LA-EDF: run at the peak density of remaining work over deadlines."""
+
+    name = "laedf"
+
+    def attach(self, nos):
+        self._rescale(nos)
+
+    def on_task_submitted(self, nos, handle):
+        self._rescale(nos)
+
+    def on_task_finished(self, nos, handle):
+        self._rescale(nos)
+
+    @staticmethod
+    def _remaining_cycles(task) -> int:
+        done_cycles = 0
+        if task.thread is not None:
+            # One issue slot per 4 cycles: executed instructions retire
+            # 4 clock cycles of the WCET budget each.
+            done_cycles = 4 * task.thread.instructions_executed
+        return max(0, task.wcet_cycles - done_cycles)
+
+    def _rescale(self, nos):
+        now_ps = nos.system.sim.now
+        per_core: dict[int, list] = {}
+        for task in _live_rt_tasks(nos):
+            if task.deadline_ps is None:
+                continue
+            per_core.setdefault(task.core.node_id, []).append(task)
+        required = self.ladder_mhz[0]
+        for node in sorted(per_core):
+            tasks = sorted(
+                per_core[node], key=lambda t: (t.deadline_ps, t.task_id)
+            )
+            work_cycles = 0
+            for task in tasks:
+                work_cycles += self._remaining_cycles(task)
+                slack_us = (task.deadline_ps - now_ps) / 1e6
+                if slack_us <= 0.0:
+                    # Past due with work left: flat out is all we have.
+                    required = max(required, self.ladder_mhz[-1])
+                else:
+                    required = max(required, work_cycles / slack_us)
+        self._apply(nos, required)
+
+
+class ThresholdDVFS(DVFSPolicy):
+    """Measured-power governor: a PowerWatchpoint drives the ladder.
+
+    ``attach`` arms a watchpoint over the whole measurement board (all
+    rails summed); an ``above`` firing steps one rung down, a ``below``
+    firing (power under ``budget_mw * headroom``) steps back up.
+    """
+
+    name = "threshold"
+
+    def __init__(
+        self,
+        budget_mw: float = 120.0,
+        headroom: float = 0.85,
+        duration_us: float = 400.0,
+        rate_hz: float = 250_000.0,
+        window_samples: int = 4,
+        ladder_mhz=None,
+    ):
+        super().__init__(ladder_mhz)
+        if budget_mw <= 0:
+            raise PolicyError("budget must be positive")
+        self.budget_mw = budget_mw
+        self.headroom = headroom
+        self.duration_us = duration_us
+        self.rate_hz = rate_hz
+        self.window_samples = window_samples
+        self._level = len(self.ladder_mhz) - 1
+        self.watchpoint = None
+
+    def attach(self, nos):
+        from repro.obs.watch import PowerWatchpoint
+
+        self._nos = nos
+        board = nos.system.measurement_board(0, 0)
+        self.watchpoint = PowerWatchpoint(
+            board,
+            channel=None,
+            rate_hz=self.rate_hz,
+            window_samples=self.window_samples,
+            above_mw=self.budget_mw,
+            below_mw=self.budget_mw * self.headroom,
+            on_fire=self._on_fire,
+            name="dvfs-threshold",
+        )
+        self.watchpoint.arm(self.duration_us * 1e-6)
+        self._apply(nos, self.ladder_mhz[self._level])
+
+    def _on_fire(self, watchpoint, event) -> None:
+        if event.rule == "above" and self._level > 0:
+            self._level -= 1
+        elif event.rule == "below" and self._level < len(self.ladder_mhz) - 1:
+            self._level += 1
+        else:
+            return
+        self._apply(self._nos, self.ladder_mhz[self._level])
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["budget_mw"] = self.budget_mw
+        state["level"] = self._level
+        state["firings"] = (
+            len(self.watchpoint.firings) if self.watchpoint is not None else 0
+        )
+        return state

@@ -1,0 +1,85 @@
+"""Placement policies: least-loaded (the classic), EDF- and RM-aware.
+
+All three place on spare thread capacity; they differ in how they keep
+urgent work unobstructed.  The XS1-L pipeline issues one instruction
+per thread per 4 cycles, so up to four runnable threads time-slice for
+free — but a fifth slows everyone on the core.  EDF/RM placement
+therefore avoids stacking new work onto cores already hosting the most
+urgent (earliest-deadline / shortest-period) tasks, the placement-time
+analogue of the classic uniprocessor priority orders.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.nos.policies.base import NO_DEADLINE_PS, SchedulerPolicy
+
+if TYPE_CHECKING:
+    from repro.core.nos import NanoOS, TaskHandle
+    from repro.xs1.core import XCore
+
+
+def _live_on(nos: "NanoOS", core: "XCore"):
+    """Tasks currently placed on ``core`` that still have work to do."""
+    return (
+        t for t in nos.tasks
+        if t.core is core and not t.done and not t.shed
+    )
+
+
+class LeastLoadedPolicy(SchedulerPolicy):
+    """The original NanoOS behaviour: fewest threads, node id breaks ties."""
+
+    name = "least_loaded"
+
+    def choose(self, nos, candidates, handle=None):
+        return min(candidates, key=lambda c: (nos._load(c), c.node_id))
+
+
+class EDFPolicy(SchedulerPolicy):
+    """Earliest-deadline-first placement.
+
+    Load still dominates (a free issue slot beats everything); among
+    equally loaded cores, prefer the one whose most urgent resident
+    task has the *latest* deadline, so tight-deadline tasks keep their
+    core's issue slots to themselves.
+    """
+
+    name = "edf"
+
+    def _urgency_ps(self, nos, core) -> int:
+        return min(
+            (
+                t.deadline_ps if t.deadline_ps is not None else NO_DEADLINE_PS
+                for t in _live_on(nos, core)
+            ),
+            default=NO_DEADLINE_PS,
+        )
+
+    def choose(self, nos, candidates, handle=None):
+        return min(
+            candidates,
+            key=lambda c: (nos._load(c), -self._urgency_ps(nos, c), c.node_id),
+        )
+
+
+class RMPolicy(EDFPolicy):
+    """Rate-monotonic placement: shortest period = highest priority.
+
+    Same shape as EDF but the urgency key is the resident tasks'
+    minimum period — the static-priority half of the classic pair.
+    """
+
+    name = "rm"
+
+    def _urgency_ps(self, nos, core) -> int:
+        from repro.sim import us
+
+        return min(
+            (
+                us(t.period_us) if t.period_us is not None else NO_DEADLINE_PS
+                for t in _live_on(nos, core)
+            ),
+            default=NO_DEADLINE_PS,
+        )

@@ -77,6 +77,9 @@ class Span:
     retry_bits: int = 0
     #: Simulation time of the span's most recent send (message causality).
     last_send_ps: int = 0
+    #: Free-form key -> value labels (policy decisions, deadline verdicts).
+    #: Exported sorted, so annotated traces stay byte-stable.
+    annotations: dict[str, str] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
 
     # -- lifecycle ----------------------------------------------------------
@@ -128,6 +131,10 @@ class Span:
         by_class[link_class] = by_class.get(link_class, 0) + bits
         self.token_hops += 1
 
+    def annotate(self, key: str, value) -> None:
+        """Attach a label (last write wins; values are stringified)."""
+        self.annotations[str(key)] = str(value)
+
     # -- export -------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -150,6 +157,7 @@ class Span:
             "wire_bits_by_class": dict(sorted(self.wire_bits_by_class.items())),
             "token_hops": self.token_hops,
             "retry_bits": self.retry_bits,
+            "annotations": dict(sorted(self.annotations.items())),
         }
 
     def __str__(self) -> str:

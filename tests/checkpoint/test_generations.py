@@ -1,0 +1,90 @@
+"""Restart generations across checkpoint/resume with a mid-run kill.
+
+A task's ``restarts`` counter is its generation: stale start events are
+gated on it, so a resume that rewound (or re-healed) a generation would
+double-start tasks.  These tests kill a ``policy_rt`` run *after* its
+fault campaign has healed a core death, resume from the newest bundle,
+and require generations to replay exactly and only ever grow.
+"""
+
+import json
+
+from repro.checkpoint import (
+    CheckpointPolicy,
+    CheckpointStore,
+    ResumableRun,
+    build_workload,
+    canonical_json,
+)
+
+#: least_loaded with budget 2 under a single early core kill: the heal
+#: path has fired (two orphans re-placed) well before the kill point.
+PARAMS = {
+    "policy": "least_loaded",
+    "k": 2,
+    "seed": 1,
+    "kills": 1,
+    "kill_from_us": 5.0,
+}
+
+
+def bundle_generations(bundle) -> dict[int, int]:
+    state = json.loads(bundle.to_json())["state"]
+    return {
+        task["task_id"]: task["restarts"]
+        for task in state["nos"]["tasks"]
+    }
+
+
+class TestGenerationMonotonicity:
+    def test_generations_survive_kill_and_resume(self, tmp_path):
+        reference = build_workload("policy_rt", PARAMS)
+        reference.system.run()
+        final_generations = {
+            task.task_id: task.restarts for task in reference.nos.tasks
+        }
+        assert reference.nos.replacements >= 1     # the kill bit something
+        expected = canonical_json(reference.final_report())
+
+        run = ResumableRun(
+            "policy_rt", PARAMS,
+            policy=CheckpointPolicy(every_events=5_000, retain=3),
+            store=CheckpointStore(tmp_path / "store", retain=3),
+        )
+        run.run(kill_after_events=60_000)
+        assert run.killed
+        bundle = run.snapshots[-1]
+        at_bundle = bundle_generations(bundle)
+        # The bundle was cut after the heal: some generation already > 0.
+        assert any(generation > 0 for generation in at_bundle.values())
+
+        resumed = ResumableRun.resume(
+            CheckpointStore(tmp_path / "store", retain=3).latest()
+        )
+        # Replay reproduced every generation exactly...
+        replayed = {
+            task.task_id: task.restarts
+            for task in resumed.context.nos.tasks
+        }
+        assert replayed == at_bundle
+        resumed.run()
+        # ...and from there generations only ever grew.
+        for task in resumed.context.nos.tasks:
+            assert task.restarts >= at_bundle[task.task_id]
+            assert task.restarts == final_generations[task.task_id]
+        assert canonical_json(resumed.final_report()) == expected
+
+    def test_resumed_run_heals_no_extra_cores(self, tmp_path):
+        run = ResumableRun(
+            "policy_rt", PARAMS,
+            policy=CheckpointPolicy(every_events=5_000, retain=3),
+            store=CheckpointStore(tmp_path / "store", retain=3),
+        )
+        run.run(kill_after_events=60_000)
+        resumed = ResumableRun.resume(
+            CheckpointStore(tmp_path / "store", retain=3).latest()
+        )
+        resumed.run()
+        nos = resumed.context.nos
+        assert len(nos.failed_cores) == PARAMS["kills"]
+        assert nos.all_done

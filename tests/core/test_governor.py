@@ -68,3 +68,42 @@ class TestGovernor:
         board = system.measurement_board()
         governor = PowerGovernor(board, channel=2, budget_mw=100)
         assert governor.governed_cores == board.rails[2].cores
+
+
+class TestGovernorState:
+    def run_governed(self):
+        system = SwallowSystem()
+        board = system.measurement_board()
+        for core in board.rails[0].cores:
+            saturate(core, iterations=1_000_000)
+        governor = PowerGovernor(board, channel=0, budget_mw=500.0,
+                                 period_cycles=20_000)
+        governor.install(system.core(8), iterations=10)
+        system.run_for_us(1_000)
+        return governor
+
+    def test_snapshot_captures_config_level_and_log(self):
+        governor = self.run_governed()
+        state = governor.snapshot_state()
+        assert state["channel"] == 0
+        assert state["budget_mw"] == 500.0
+        assert state["level"] == governor._level
+        assert state["governed_nodes"] == [
+            core.node_id for core in governor.governed_cores
+        ]
+        assert state["adjustments"] == governor.log.adjustments > 0
+        assert len(state["samples_mw"]) == len(state["frequencies_mhz"])
+
+    def test_restore_accepts_identical_replay(self):
+        first = self.run_governed()
+        second = self.run_governed()          # deterministic re-run
+        second.restore_state(first.snapshot_state())
+
+    def test_restore_rejects_divergence(self):
+        from repro.sim.state import StateMismatchError
+
+        governor = self.run_governed()
+        forged = governor.snapshot_state()
+        forged["level"] = (forged["level"] + 1) % 5
+        with pytest.raises(StateMismatchError):
+            governor.restore_state(forged)

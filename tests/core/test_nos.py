@@ -197,3 +197,47 @@ class TestReplacement:
         assert handle.core is not victim
         # Second upload serialises behind the first: start >= 2 x 102.4 us.
         assert handle.start_time_ps >= 200_000_000
+
+
+class TestTieBreakAndBudget:
+    def test_pick_core_tie_break_is_lowest_node_id(self):
+        """Equal load must break ties deterministically by node id."""
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        assert nos.pick_core().node_id == 0
+        nos.submit(simple_task)                     # loads node 0
+        assert nos.pick_core().node_id == 1
+        for _ in range(15):
+            nos.submit(simple_task)                 # one task everywhere
+        # All loads equal again: the tie-break wraps back to node 0,
+        # and repeated picks (no submission between) agree.
+        assert nos.pick_core().node_id == 0
+        assert nos.pick_core().node_id == 0
+
+    def test_exhausted_budget_raises_without_partial_replacement(self):
+        """Past the fault budget the error must carry the ledger counts
+        and the failed heal must not have moved or restarted anything."""
+        system = SwallowSystem()
+        nos = NanoOS(system, fault_budget=1)
+        for _ in range(16):
+            nos.submit(simple_task)
+        nos.handle_core_failure(system.core(0))     # spends the budget
+        victim = system.core(1)
+        before = [
+            (task.core.node_id, task.restarts) for task in nos.tasks
+        ]
+        replacements = nos.replacements
+        with pytest.raises(
+            ResourceError,
+            match=r"fault budget exhausted: 1 core failure\(s\) already "
+                  r"healed, budget is 1",
+        ):
+            nos.handle_core_failure(victim)
+        # The refused heal mutated nothing: no core marked failed, no
+        # task moved, no restart generation bumped.
+        assert not victim.failed
+        assert len(nos.failed_cores) == 1
+        assert nos.replacements == replacements
+        assert [
+            (task.core.node_id, task.restarts) for task in nos.tasks
+        ] == before

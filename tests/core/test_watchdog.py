@@ -175,3 +175,45 @@ class TestLadder:
         assert watch["escalations"] == 1
         # And restore_state verifies (same object, no divergence).
         watchdog.restore_state(state)
+
+
+class TestEscalationMetrics:
+    def test_deadline_miss_and_escalation_series(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        handle = nos.submit(spinner())
+        watchdog = Watchdog(system, nos=nos, check_every_us=10.0)
+        ticks = []
+        watchdog.watch(
+            handle,
+            progress=lambda: ticks.append(0) or len(ticks),
+            deadline_us=30.0,
+        )
+        watchdog.register_metrics(system.metrics)
+        watchdog.arm()
+        with pytest.raises(RollbackSignal):
+            system.run()
+        snapshot = system.metrics_snapshot()
+        assert snapshot.value("watchdog.deadline_miss") == \
+            watchdog.deadline_misses >= 1
+        # One series per ladder rung actually taken, labeled by stage.
+        rungs = [action["rung"] for action in watchdog.actions]
+        for rung in set(rungs):
+            assert snapshot.value(
+                "watchdog.escalations", stage=rung
+            ) == rungs.count(rung)
+        assert watchdog.snapshot_state()["deadline_misses"] == \
+            watchdog.deadline_misses
+
+    def test_no_misses_means_zero_counter(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        handle = nos.submit(worker())
+        watchdog = Watchdog(system, nos=nos, check_every_us=10.0)
+        watchdog.watch(handle)
+        watchdog.register_metrics(system.metrics)
+        watchdog.arm()
+        system.run()
+        snapshot = system.metrics_snapshot()
+        assert snapshot.value("watchdog.deadline_miss") == 0
+        assert snapshot.series("watchdog.escalations") == []

@@ -81,3 +81,44 @@ class TestMatrixSpec:
     def test_rejects_missing_workload(self):
         with pytest.raises(FarmError, match="workload"):
             MatrixSpec.from_dict({"sweep": {"seed": [1]}})
+
+
+class TestBundledAxes:
+    def test_dict_values_merge_into_params(self):
+        matrix = MatrixSpec(
+            workload="policy_rt",
+            base={"tasks": 8},
+            sweep={
+                "campaign": [
+                    {"seed": 1, "kills": 1},
+                    {"seed": 2, "kills": 2},
+                ],
+                "policy": ["edf", "kfault"],
+            },
+        )
+        jobs = matrix.jobs()
+        assert len(jobs) == matrix.num_jobs == 4
+        for spec in jobs:
+            assert "campaign" not in spec.params
+            assert spec.params["tasks"] == 8
+            assert spec.params["seed"] == spec.params["kills"]
+
+    def test_bundles_co_vary_instead_of_multiplying(self):
+        matrix = MatrixSpec(
+            workload="w",
+            sweep={"campaign": [{"seed": 1, "kills": 1},
+                                {"seed": 2, "kills": 2}]},
+        )
+        seen = [(s.params["seed"], s.params["kills"])
+                for s in matrix.jobs()]
+        assert seen == [(1, 1), (2, 2)]
+
+    def test_bundled_expansion_is_deterministic(self):
+        build = lambda: MatrixSpec(
+            workload="w",
+            sweep={
+                "campaign": [{"seed": 2}, {"seed": 1}],
+                "k": [0, 1],
+            },
+        ).jobs()
+        assert [s.digest for s in build()] == [s.digest for s in build()]

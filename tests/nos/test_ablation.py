@@ -1,0 +1,101 @@
+"""The policy-zoo ablation harness: matrix shape, scoring, byte identity."""
+
+import json
+
+from repro.nos.ablation import (
+    SCHEMA,
+    ablation_matrix,
+    render,
+    report_json,
+    run_ablation,
+    run_cell,
+)
+
+SMALL = dict(
+    policies=("least_loaded", "kfault"),
+    campaigns=({"seed": 1, "kills": 1, "kill_from_us": 5.0,
+                "kill_every_us": 5.0},),
+    ks=(1,),
+)
+
+
+class TestMatrix:
+    def test_campaign_axis_bundles_into_params(self):
+        matrix = ablation_matrix(**SMALL)
+        jobs = matrix.jobs()
+        assert len(jobs) == 2
+        for spec in jobs:
+            assert spec.workload == "policy_rt"
+            assert "campaign" not in spec.params
+            assert spec.params["seed"] == 1
+            assert spec.params["kills"] == 1
+            assert spec.params["k"] == 1
+
+    def test_base_params_reach_every_job(self):
+        matrix = ablation_matrix(base={"tasks": 8}, **SMALL)
+        assert all(spec.params["tasks"] == 8 for spec in matrix.jobs())
+
+    def test_matrix_order_is_deterministic(self):
+        first = [spec.job_id for spec in ablation_matrix().jobs()]
+        second = [spec.job_id for spec in ablation_matrix().jobs()]
+        assert first == second
+        assert len(first) == 7 * 3 * 3
+
+
+class TestScoring:
+    def test_cell_scores_all_three_axes(self):
+        spec = ablation_matrix(**SMALL).jobs()[0]
+        cell = run_cell(spec)
+        assert cell["policy"] in ("least_loaded", "kfault")
+        assert isinstance(cell["survived"], bool)
+        assert cell["miss_rate"] is not None
+        assert cell["energy_j"] > 0
+        assert cell["deadline"]["hit"] + cell["deadline"]["miss"] > 0
+        assert cell["job_id"] == spec.job_id
+
+    def test_budget_exhaustion_scores_as_failure(self):
+        matrix = ablation_matrix(
+            policies=("least_loaded",),
+            campaigns=({"seed": 1, "kills": 2, "kill_from_us": 5.0,
+                        "kill_every_us": 5.0},),
+            ks=(1,),
+        )
+        cell = run_cell(matrix.jobs()[0])
+        assert cell["survived"] is False
+        assert "fault budget exhausted" in cell["failure"]
+
+
+class TestReport:
+    def test_report_is_byte_identical_across_runs(self):
+        first = run_ablation(**SMALL)
+        second = run_ablation(**SMALL)
+        assert first["digest"] == second["digest"]
+        assert report_json(first) == report_json(second)
+
+    def test_report_shape_and_summary(self):
+        report = run_ablation(**SMALL)
+        assert report["schema"] == SCHEMA
+        assert len(report["cells"]) == 2
+        assert sorted(report["summary"]) == ["kfault", "least_loaded"]
+        kfault = report["summary"]["kfault"]
+        assert kfault["cells"] == 1 and kfault["survived"] == 1
+        parsed = json.loads(report_json(report))
+        assert parsed["digest"] == report["digest"]
+        rendered = render(report)
+        assert "kfault" in rendered and "least_loaded" in rendered
+
+
+class TestCLI:
+    def test_policies_command_writes_canonical_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "zoo.json"
+        code = main([
+            "policies", "--policies", "kfault", "--ks", "1",
+            "--campaigns", "1", "--tasks", "8", "--out", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == SCHEMA
+        assert [cell["policy"] for cell in report["cells"]] == ["kfault"]
+        assert "kfault" in capsys.readouterr().out

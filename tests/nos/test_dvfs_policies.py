@@ -1,0 +1,150 @@
+"""DVFS policies: ladder arithmetic, rescaling, watchpoint throttling."""
+
+from repro import Compute, NanoOS, SwallowSystem
+from repro.checkpoint.workloads import build_workload
+from repro.energy.dvfs import LADDER_MHZ, ladder_clamp, min_voltage
+from repro.nos.policies import (
+    CycleConservingDVFS,
+    LookAheadDVFS,
+    ThresholdDVFS,
+)
+from repro.nos.policies.base import DVFSPolicy
+
+import pytest
+
+
+def compute_task(instructions: int = 5_000):
+    def factory(core):
+        def body():
+            yield Compute(instructions)
+        return body()
+    return factory
+
+
+class TestLadder:
+    def test_clamp_picks_smallest_sufficient_rung(self):
+        assert ladder_clamp(0.0) == 71.0
+        assert ladder_clamp(71.0) == 71.0
+        assert ladder_clamp(72.0) == 125.0
+        assert ladder_clamp(300.0) == 375.0
+        assert ladder_clamp(9_999.0) == 500.0
+
+    def test_ladder_must_ascend(self):
+        from repro.nos.policies import PolicyError
+        with pytest.raises(PolicyError):
+            DVFSPolicy(ladder_mhz=(500.0, 71.0))
+
+    def test_rungs_pair_with_safe_voltages(self):
+        for rung in LADDER_MHZ:
+            assert 0.6 <= min_voltage(rung) <= 0.95
+
+
+class TestCycleConserving:
+    def test_idle_machine_parks_at_the_bottom(self):
+        system = SwallowSystem(metrics=False)
+        dvfs = CycleConservingDVFS()
+        NanoOS(system, dvfs=dvfs)
+        assert dvfs.current_mhz == 71.0
+        assert system.cores[0].frequency.megahertz == pytest.approx(71.0)
+        assert system.cores[0].voltage == pytest.approx(min_voltage(71.0))
+
+    def test_demand_steps_the_whole_machine_up(self):
+        system = SwallowSystem(metrics=False)
+        dvfs = CycleConservingDVFS()
+        nos = NanoOS(system, dvfs=dvfs)
+        # 100k cycles over a 500 us deadline = 200 MHz demand -> 250 rung.
+        nos.submit(compute_task(25_000), deadline_us=500.0,
+                   wcet_cycles=100_000)
+        assert dvfs.current_mhz == 250.0
+        for core in system.cores:
+            assert core.frequency.megahertz == pytest.approx(250.0)
+
+    def test_finish_rescales_back_down(self):
+        system = SwallowSystem(metrics=False)
+        dvfs = CycleConservingDVFS()
+        nos = NanoOS(system, dvfs=dvfs)
+        nos.submit(compute_task(25_000), deadline_us=250.0,
+                   wcet_cycles=100_000)
+        high = dvfs.current_mhz
+        system.run()
+        assert high > dvfs.current_mhz == 71.0
+        assert dvfs.steps >= 2
+        times = [step["time_ps"] for step in dvfs.step_log]
+        assert times == sorted(times)
+
+    def test_scaling_trades_power_for_makespan_without_missing(self):
+        """The power/deadline trade the ablation scores: CC-EDF runs the
+        same seeded task set slower and longer, cutting average power
+        while every deadline still holds."""
+        params = {"policy": "ccedf", "k": 0, "seed": 1, "kills": 0}
+        scaled = build_workload("policy_rt", params)
+        scaled.system.run()
+        full = build_workload("policy_rt", {**params, "policy": "edf"})
+        full.system.run()
+        assert scaled.nos.deadline_counts()["miss"] == 0
+        assert full.nos.deadline_counts()["miss"] == 0
+        assert scaled.nos.dvfs.steps > 0
+        assert scaled.system.sim.now > full.system.sim.now
+
+        def average_mw(context):
+            joules = context.system.energy_report().total_energy_j
+            return joules / (context.system.sim.now / 1e12) * 1e3
+
+        assert average_mw(scaled) < average_mw(full)
+
+
+class TestLookAhead:
+    def test_attach_starts_at_the_bottom(self):
+        system = SwallowSystem(metrics=False)
+        dvfs = LookAheadDVFS()
+        NanoOS(system, dvfs=dvfs)
+        assert dvfs.current_mhz == 71.0
+
+    def test_dense_prefix_forces_a_high_rung(self):
+        system = SwallowSystem(metrics=False)
+        dvfs = LookAheadDVFS()
+        nos = NanoOS(system, dvfs=dvfs)
+        # 200k cycles due in 450 us: ~445 MHz density -> top rung.
+        nos.submit(compute_task(50_000), deadline_us=450.0,
+                   wcet_cycles=200_000)
+        assert dvfs.current_mhz == 500.0
+        system.run()
+        assert dvfs.current_mhz == 71.0
+
+    def test_snapshot_state_shape(self):
+        system = SwallowSystem(metrics=False)
+        dvfs = LookAheadDVFS()
+        nos = NanoOS(system, dvfs=dvfs)
+        nos.submit(compute_task(5_000), deadline_us=500.0,
+                   wcet_cycles=20_000)
+        system.run()
+        state = dvfs.snapshot_state()
+        assert state["name"] == "laedf"
+        assert state["current_mhz"] == 71.0
+        assert state["steps"] == len(state["step_log"]) == dvfs.steps
+
+
+class TestThreshold:
+    def test_watchpoint_throttles_under_the_budget(self):
+        context = build_workload("policy_rt", {
+            "policy": "threshold", "k": 0, "seed": 1, "kills": 0,
+        })
+        context.system.run()
+        dvfs = context.nos.dvfs
+        assert dvfs.watchpoint.firings
+        assert dvfs.steps > 0
+        assert dvfs.current_mhz < 500.0
+        state = dvfs.snapshot_state()
+        assert state["name"] == "threshold"
+        assert state["firings"] == len(dvfs.watchpoint.firings)
+
+    def test_dvfs_steps_metric_published(self):
+        system = SwallowSystem()
+        dvfs = CycleConservingDVFS()
+        nos = NanoOS(system, dvfs=dvfs)
+        nos.submit(compute_task(25_000), deadline_us=250.0,
+                   wcet_cycles=100_000)
+        nos.register_metrics(system.metrics)
+        system.run()
+        snapshot = system.metrics_snapshot()
+        assert snapshot.value("nos.dvfs_steps", policy="ccedf") == dvfs.steps

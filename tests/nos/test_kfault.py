@@ -1,0 +1,118 @@
+"""The k-fault guarantee: backup slots, replacement, graceful shedding."""
+
+from repro import Compute, NanoOS, SwallowSystem
+from repro.checkpoint.snapshot import canonical_json
+from repro.checkpoint.workloads import build_workload
+from repro.nos.policies import KFaultPolicy
+
+import pytest
+
+
+def compute_task(instructions: int = 5_000):
+    def factory(core):
+        def body():
+            yield Compute(instructions)
+        return body()
+    return factory
+
+
+def run_campaign(policy: str, k: int, kills: int, seed: int = 1) -> dict:
+    """One seeded policy_rt cell; returns the post-run NanoOS snapshot."""
+    context = build_workload("policy_rt", {
+        "policy": policy,
+        "k": k,
+        "seed": seed,
+        "kills": kills,
+        "kill_from_us": 5.0,
+        "kill_every_us": 5.0,
+    })
+    context.system.run()
+    return context.nos.snapshot_state()
+
+
+class TestBackupSlots:
+    def test_backups_are_disjoint_from_the_primary(self):
+        system = SwallowSystem(metrics=False)
+        policy = KFaultPolicy(k=2)
+        nos = NanoOS(system, policy=policy)
+        for _ in range(6):
+            handle = nos.submit(compute_task(), deadline_us=500.0)
+            backups = policy.backups[handle.task_id]
+            assert len(backups) == 2
+            assert handle.core.node_id not in backups
+            assert len(set(backups)) == 2
+
+    def test_replacement_lands_on_a_reserved_backup(self):
+        system = SwallowSystem(metrics=False)
+        policy = KFaultPolicy(k=1)
+        nos = NanoOS(system, policy=policy, fault_budget=None)
+        handle = nos.submit(compute_task(50_000), deadline_us=2_000.0)
+        reserved = list(policy.backups[handle.task_id])
+        system.run_for_us(1.0)
+        nos.handle_core_failure(handle.core)
+        assert handle.core.node_id == reserved[0]
+        assert policy.backups[handle.task_id] == []
+        system.run()
+        assert nos.deadline_status(handle) == "hit"
+
+    def test_degrade_order_is_criticality_then_task_id(self):
+        system = SwallowSystem(metrics=False)
+        policy = KFaultPolicy(k=0)
+        nos = NanoOS(system, policy=policy)
+        core = system.core(3)
+        handles = [
+            nos.submit(compute_task(), pin=core, criticality=crit,
+                       deadline_us=500.0)
+            for crit in (2, 0, 1, 0)
+        ]
+        order = policy.degrade(nos, core, list(handles))
+        assert [h.criticality for h in order] == [0, 0, 1, 2]
+        low_a, low_b = order[0], order[1]
+        assert low_a.task_id < low_b.task_id
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("k,kills", [(1, 1), (2, 1), (2, 2)])
+    def test_kills_within_k_miss_nothing(self, k, kills):
+        state = run_campaign("kfault", k=k, kills=kills)
+        assert state["shed"] == []
+        assert len(state["failed_cores"]) == kills
+        # Every task finished, none past its deadline.
+        for task in state["tasks"]:
+            assert task["done"] and not task["shed"]
+            assert task["finish_time_ps"] <= task["deadline_ps"]
+
+    def test_beyond_k_sheds_instead_of_raising(self):
+        """k+1 kills must degrade deterministically, not raise."""
+        state = run_campaign("kfault", k=1, kills=2, seed=4)
+        assert state["shed"], "beyond-k campaign shed nothing"
+        # Survivors still make their deadlines.
+        for task in state["tasks"]:
+            if not task["shed"]:
+                assert task["done"]
+
+    def test_shed_list_is_byte_identical_across_runs(self):
+        first = run_campaign("kfault", k=1, kills=2, seed=4)
+        second = run_campaign("kfault", k=1, kills=2, seed=4)
+        assert first["shed"] == second["shed"]
+        assert canonical_json(first) == canonical_json(second)
+
+    def test_plain_budget_raises_where_kfault_degrades(self):
+        from repro.xs1.errors import ResourceError
+        with pytest.raises(ResourceError, match="fault budget exhausted"):
+            context = build_workload("policy_rt", {
+                "policy": "least_loaded",
+                "k": 1,
+                "seed": 1,
+                "kills": 2,
+                "kill_from_us": 5.0,
+                "kill_every_us": 5.0,
+            })
+            context.system.run()
+
+    def test_kfault_state_rides_the_snapshot(self):
+        state = run_campaign("kfault", k=2, kills=1)
+        policy_state = state["policy"]
+        assert policy_state["name"] == "kfault"
+        assert policy_state["k"] == 2
+        assert isinstance(policy_state["backups"], dict)

@@ -1,0 +1,158 @@
+"""Scheduler policies: placement keys, deadline accounting, metrics."""
+
+from repro import Compute, NanoOS, SwallowSystem
+from repro.nos.policies import (
+    EDFPolicy,
+    LeastLoadedPolicy,
+    PolicyError,
+    RMPolicy,
+    SchedulerPolicy,
+    build_policy,
+)
+from repro.nos.policies.base import NO_DEADLINE_PS
+
+import pytest
+
+
+def compute_task(instructions: int = 5_000):
+    def factory(core):
+        def body():
+            yield Compute(instructions)
+        return body()
+    return factory
+
+
+class TestZoo:
+    def test_build_policy_covers_the_zoo(self):
+        for name in (
+            "least_loaded", "edf", "rm", "ccedf", "laedf", "kfault",
+            "threshold",
+        ):
+            scheduler, dvfs = build_policy(name, k=1)
+            assert isinstance(scheduler, SchedulerPolicy)
+            wants_dvfs = name in ("ccedf", "laedf", "threshold")
+            assert (dvfs is not None) == wants_dvfs
+
+    def test_build_policy_rejects_unknown(self):
+        with pytest.raises(PolicyError, match="unknown policy"):
+            build_policy("round_robin")
+
+    def test_base_choose_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SchedulerPolicy().choose(None, [])
+
+
+class TestLeastLoaded:
+    def test_matches_legacy_placement(self):
+        """Least-loaded with node-id tie-break — the pre-seam behavior."""
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system, policy=LeastLoadedPolicy())
+        nodes = [nos.submit(compute_task()).core.node_id for _ in range(16)]
+        assert nodes == list(range(16))
+        assert nos.submit(compute_task()).core.node_id == 0
+
+
+class TestEDF:
+    def test_urgent_cores_are_picked_last(self):
+        """EDF steers new work away from cores hosting tight deadlines."""
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system, policy=EDFPolicy())
+        urgent = nos.submit(compute_task(), deadline_us=10.0)
+        assert urgent.core.node_id == 0
+        for _ in range(15):
+            nos.submit(compute_task())
+        # Every core now holds one task; node 0's is the most urgent, so
+        # under equal load EDF places the 17th task anywhere *but* there
+        # (least-loaded would wrap back to node 0).
+        assert nos.submit(compute_task()).core.node_id == 1
+
+    def test_no_deadline_means_least_loaded(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system, policy=EDFPolicy())
+        nodes = [nos.submit(compute_task()).core.node_id for _ in range(4)]
+        assert nodes == [0, 1, 2, 3]
+
+
+class TestRM:
+    def test_short_period_cores_are_picked_last(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system, policy=RMPolicy())
+        hot = nos.submit(compute_task(), period_us=50.0)
+        assert hot.core.node_id == 0
+        for _ in range(15):
+            nos.submit(compute_task(), period_us=500.0)
+        assert nos.submit(compute_task()).core.node_id == 1
+
+
+class TestDeadlineAccounting:
+    def test_hit_miss_and_pending(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system, spans=True)
+        # 5k instructions = 20k cycles = 40 us at 500 MHz.
+        hit = nos.submit(compute_task(5_000), deadline_us=1_000.0)
+        miss = nos.submit(compute_task(5_000), deadline_us=10.0)
+        free = nos.submit(compute_task(5_000))
+        assert nos.deadline_status(hit) == "pending"
+        system.run()
+        assert nos.deadline_status(hit) == "hit"
+        assert nos.deadline_status(miss) == "miss"
+        assert nos.deadline_status(free) is None
+        assert nos.deadline_counts() == {
+            "hit": 1, "miss": 1, "shed": 0, "pending": 0,
+        }
+        assert hit.finish_time_ps is not None
+        assert hit.deadline_ps == NO_DEADLINE_PS or hit.deadline_ps > 0
+
+    def test_running_past_deadline_already_misses(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system)
+        late = nos.submit(compute_task(50_000), deadline_us=10.0)
+        system.run_for_us(50.0)
+        assert not late.done
+        assert nos.deadline_status(late) == "miss"
+
+    def test_period_backs_the_deadline(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system)
+        handle = nos.submit(compute_task(5_000), period_us=1_000.0)
+        system.run()
+        assert nos.deadline_status(handle) == "hit"
+
+    def test_spans_annotated_with_policy_and_verdict(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system, spans=True, policy=EDFPolicy())
+        handle = nos.submit(compute_task(5_000), deadline_us=1_000.0)
+        system.run()
+        assert handle.span.annotations["policy"] == "edf"
+        assert handle.span.annotations["deadline"] == "hit"
+        assert handle.span.to_dict()["annotations"]["deadline"] == "hit"
+
+    def test_deadline_metrics_registered(self):
+        system = SwallowSystem()
+        nos = NanoOS(system)
+        nos.submit(compute_task(5_000), deadline_us=1_000.0)
+        nos.submit(compute_task(5_000), deadline_us=10.0)
+        nos.register_metrics(system.metrics)
+        system.run()
+        snapshot = system.metrics_snapshot()
+        assert snapshot.value("nos.deadline_hit", policy="least_loaded") == 1
+        assert snapshot.value("nos.deadline_miss", policy="least_loaded") == 1
+        assert snapshot.value("nos.deadline_shed", policy="least_loaded") == 0
+        assert snapshot.value("nos.replacements", policy="least_loaded") == 0
+
+
+class TestSnapshotState:
+    def test_policy_and_deadline_fields_ride_the_snapshot(self):
+        system = SwallowSystem(metrics=False)
+        nos = NanoOS(system, policy=EDFPolicy())
+        nos.submit(compute_task(5_000), deadline_us=100.0, criticality=2)
+        system.run()
+        state = nos.snapshot_state()
+        assert state["policy"]["name"] == "edf"
+        assert state["dvfs"] is None
+        assert state["shed"] == []
+        task = state["tasks"][0]
+        assert task["criticality"] == 2
+        assert task["deadline_ps"] is not None
+        assert task["finish_time_ps"] is not None
+        assert task["shed"] is False
