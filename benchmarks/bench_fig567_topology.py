@@ -3,48 +3,34 @@
 Structural verification: chips and cores per slice (Fig. 5), per-node
 link complement (Fig. 6), the two-layer unwoven lattice with at most two
 layer transitions per route (Fig. 7), and the §V.D bisection figure.
+
+The figures come from :func:`repro.dse.structure.structure_summary` —
+the same code path the DSE engine uses to summarise every topology
+variant it sweeps — so the paper check and the design-space exploration
+can never disagree about what the builder wires.
 """
 
 import pytest
 
-from repro.analysis import vertical_bisection_bps
-from repro.network.routing import Layer, layer_transitions
-from repro.network.topology import (
-    SLICE_EDGE_PORTS,
-    SLICE_OFFBOARD_LINKS,
-    SwallowTopology,
-)
-from repro.sim import Simulator
+from repro.dse.structure import build_topology, structure_summary
+from repro.network.topology import SLICE_EDGE_PORTS, SLICE_OFFBOARD_LINKS
 
 
 def run(report_table):
-    topo = SwallowTopology(Simulator())
-    graph = topo.graph()
-    by_class = {}
-    for _, _, data in graph.edges(data=True):
-        by_class[data["spec"].name] = by_class.get(data["spec"].name, 0) + 1
-    package = topo.packages[(0, 0)]
-    internal_links = len(
-        graph.get_edge_data(package.vertical_node, package.horizontal_node)
-    )
-    max_transitions = max(
-        layer_transitions(topo.coord_of(a), topo.coord_of(b))
-        for a in topo.node_ids()
-        for b in topo.node_ids()
-    )
-    v_nodes = sum(
-        1 for n in topo.node_ids() if topo.coord_of(n).layer is Layer.VERTICAL
-    )
+    summary = structure_summary(build_topology({}))
+    by_class = summary["links_by_class"]
     rows = [
-        ["cores per slice (Fig. 5)", 16, topo.num_nodes],
-        ["chips per slice (Fig. 5)", 8, len(topo.packages)],
+        ["cores per slice (Fig. 5)", 16, summary["cores"]],
+        ["chips per slice (Fig. 5)", 8, summary["packages"]],
         ["edge ports per slice", 12, SLICE_EDGE_PORTS],
         ["off-board network links (paper: ten)", 10, SLICE_OFFBOARD_LINKS],
-        ["internal links per package (Fig. 6)", 4, internal_links],
-        ["vertical-layer nodes (Fig. 7)", 8, v_nodes],
-        ["max layer transitions per route (SecV.A)", 2, max_transitions],
+        ["internal links per package (Fig. 6)", 4,
+         summary["internal_links_per_package"]],
+        ["vertical-layer nodes (Fig. 7)", 8, summary["vertical_nodes"]],
+        ["max layer transitions per route (SecV.A)", 2,
+         summary["max_layer_transitions"]],
         ["slice vertical bisection (Mbit/s, SecV.D)", 250,
-         vertical_bisection_bps(topo) / 1e6],
+         summary["vertical_bisection_bps"] / 1e6],
         ["on-chip link pairs", 32, by_class["on-chip"]],
         ["on-board vertical links", 4, by_class["on-board-vertical"]],
         ["on-board horizontal links", 6, by_class["on-board-horizontal"]],
@@ -53,7 +39,7 @@ def run(report_table):
         "fig567_topology",
         "Figs. 5/6/7: unwoven-lattice structural verification",
         ["property", "paper", "built"],
-    rows,
+        rows,
     )
     return rows
 

@@ -67,32 +67,33 @@ def heat_view(queue: JobQueue, cache: ResultCache) -> None:
 
 
 def pareto_view(report: dict) -> None:
-    # Average the seeds out of every (topology, frequency) design point.
-    cells: dict[tuple[int, int], list[dict]] = {}
-    for job in report["jobs"]:
-        key = (job["params"]["slices_x"], job["params"]["freq_mhz"])
-        cells.setdefault(key, []).append(job)
-    points = {
-        key: (
-            sum(j["total_energy_j"] for j in jobs) / len(jobs),
-            sum(j["elapsed_s"] for j in jobs) / len(jobs),
-        )
-        for key, jobs in cells.items()
-    }
-    optimal = {
-        key for key, (energy, elapsed) in points.items()
-        if not any(
-            other != key
-            and points[other][0] <= energy and points[other][1] <= elapsed
-            for other in points
-        )
-    }
+    """The campaign's non-dominated front, via the DSE passthrough.
+
+    ``repro.dse.pareto_from_farm_report`` is the same code path as
+    ``repro farm report --pareto-out``: no re-simulation, just the
+    finished campaign's rows scored on energy vs completion time.
+    """
+    from repro.dse import pareto_from_farm_report
+
+    front = pareto_from_farm_report(
+        report,
+        objectives=[("total_energy_j", "min"), ("elapsed_s", "min")],
+    )
+    optimal = {point["job_id"] for point in front["front"]}
     print(f"{'slices':>7} {'freq (MHz)':>11} {'energy (mJ)':>12} "
           f"{'time (us)':>10}   pareto")
-    for key in sorted(points):
-        energy, elapsed = points[key]
-        print(f"{key[0]:>7} {key[1]:>11} {energy * 1e3:>12.3f} "
-              f"{elapsed * 1e6:>10.3f}   {'*' if key in optimal else ''}")
+    for job in sorted(
+        report["jobs"],
+        key=lambda j: (j["params"]["slices_x"], j["params"]["freq_mhz"],
+                       j["params"]["seed"]),
+    ):
+        mark = "*" if job["job_id"] in optimal else ""
+        if job["job_id"] == front["knee"]:
+            mark = "K"
+        print(f"{job['params']['slices_x']:>7} "
+              f"{job['params']['freq_mhz']:>11} "
+              f"{job['total_energy_j'] * 1e3:>12.3f} "
+              f"{job['elapsed_s'] * 1e6:>10.3f}   {mark}")
 
 
 def main() -> None:

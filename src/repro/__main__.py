@@ -819,6 +819,19 @@ def cmd_farm(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
+    pareto_note = None
+    if args.pareto_out:
+        from repro.dse import front_json, pareto_from_farm_report
+
+        front = pareto_from_farm_report(
+            report.to_dict(), objectives=_parse_objectives(args.objective)
+        )
+        with open(args.pareto_out, "w", encoding="utf-8") as handle:
+            handle.write(front_json(front))
+        pareto_note = (
+            f"wrote pareto front ({len(front['front'])}/{front['points']} "
+            f"non-dominated) to {args.pareto_out}"
+        )
     heat_note = None
     if args.heatmap_out:
         from repro.farm import farm_heatmap
@@ -840,8 +853,126 @@ def cmd_farm(args: argparse.Namespace) -> int:
         print(report.render())
         if args.out:
             print(f"wrote farm report to {args.out}")
+        if pareto_note:
+            print(pareto_note)
         if heat_note:
             print(heat_note)
+    return 0
+
+
+def _parse_objectives(specs: list[str] | None):
+    """``KEY:min|max`` flags -> objective dicts (None = spec defaults)."""
+    if not specs:
+        return None
+    objectives = []
+    for text in specs:
+        key, sep, goal = text.partition(":")
+        if not key or (sep and goal not in ("min", "max")):
+            raise SystemExit(
+                f"bad --objective {text!r} (want KEY or KEY:min / KEY:max)"
+            )
+        objectives.append({"key": key, "goal": goal or "min"})
+    return objectives
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    """Design-space exploration: sweep, fold, extract the front."""
+    from repro import dse
+
+    if args.dse_command == "submit":
+        spec = dse.SweepSpec.from_file(args.sweep)
+        records = dse.submit_sweep(spec, args.dir)
+        print(f"submitted sweep {spec.sweep_id} "
+              f"({len(records)} point(s), {len(spec.sweep)} axes, "
+              f"objectives {', '.join(str(o) for o in spec.objectives)}) "
+              f"to {args.dir}")
+        return 0
+    if args.dse_command == "run":
+        spec = (
+            dse.SweepSpec.from_file(args.sweep)
+            if args.sweep else dse.load_spec(args.dir)
+        )
+        report, farm = dse.run_sweep(
+            spec, args.dir, num_workers=args.workers,
+            preempt=_parse_preempt(args.preempt),
+            cache_dir=args.cache_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if args.report_out:
+            with open(args.report_out, "w", encoding="utf-8") as handle:
+                handle.write(dse.report_json(report))
+        if args.json:
+            print(json.dumps(report, sort_keys=True))
+        else:
+            from repro.dse.report import render
+
+            print(render(report))
+            payload = farm.to_dict()
+            print(f"  farm: {payload['cache']['hits']} cache hit(s), "
+                  f"{payload['preemptions']} preemption(s), "
+                  f"{payload['counts']['failed']} failed")
+            if args.report_out:
+                print(f"wrote dse report to {args.report_out}")
+        counts = farm.to_dict()["counts"]
+        unfinished = counts["pending"] + counts["running"] + counts["preempted"]
+        if unfinished:
+            return EXIT_KILLED  # resumable: re-run the same directory
+        return 0 if counts["failed"] == 0 else 1
+    if args.dse_command == "report":
+        report = dse.collect_report(None, args.dir, cache_dir=args.cache_dir)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(dse.report_json(report))
+        if args.timeline_out:
+            front = dse.pareto_front(report)
+            timeline = dse.sweep_timeline(report, front)
+            with open(args.timeline_out, "w", encoding="utf-8") as handle:
+                from repro.dse.exports import timeline_json
+
+                handle.write(timeline_json(timeline))
+        if args.heatmap_out:
+            from repro.dse.engine import SweepDirs
+            from repro.dse.exports import overlay_json
+            from repro.farm import JobQueue, ResultCache
+
+            dirs = SweepDirs(args.dir, args.cache_dir)
+            overlay = dse.fleet_overlay(
+                JobQueue(dirs.queue_dir), ResultCache(dirs.cache_dir),
+                dse.pareto_front(report),
+            )
+            if overlay is None:
+                print("no netscope heat maps in this sweep "
+                      "(add \"netscope\": true to the base params)",
+                      file=sys.stderr)
+            else:
+                with open(args.heatmap_out, "w", encoding="utf-8") as handle:
+                    handle.write(overlay_json(overlay))
+        if args.json:
+            print(json.dumps(report, sort_keys=True))
+        else:
+            from repro.dse.report import render
+
+            print(render(report))
+        return 0
+    # pareto
+    report = dse.collect_report(None, args.dir, cache_dir=args.cache_dir)
+    front = dse.pareto_front(
+        report, objectives=_parse_objectives(args.objective)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(dse.front_json(front))
+    if args.csv_out:
+        with open(args.csv_out, "w", encoding="utf-8") as handle:
+            handle.write(dse.front_csv(front))
+    if args.json:
+        print(json.dumps(front, sort_keys=True))
+    else:
+        from repro.dse.pareto import render
+
+        print(render(front))
+        if args.scatter:
+            print(dse.ascii_scatter(front))
     return 0
 
 
@@ -1168,9 +1299,94 @@ def main(argv: list[str] | None = None) -> int:
                                  metavar="PATH",
                                  help="merge the jobs' netscope heat maps "
                                       "into one fleet document (JSON)")
+    farm_report_cmd.add_argument("--pareto-out", default=None, metavar="PATH",
+                                 help="post-hoc Pareto analysis: write the "
+                                      "campaign's non-dominated front as "
+                                      "canonical JSON")
+    farm_report_cmd.add_argument("--objective", action="append", default=None,
+                                 metavar="KEY[:min|max]",
+                                 help="objective axis for --pareto-out "
+                                      "(repeatable; default GIPS/W/pJ-per-"
+                                      "instruction)")
     farm_report_cmd.add_argument("--json", action="store_true",
                                  help="emit the report as JSON on stdout")
     farm.set_defaults(func=cmd_farm)
+    dse = subparsers.add_parser(
+        "dse",
+        help="design-space exploration: declarative sweeps through the "
+             "farm, Pareto-front extraction over configurable objectives",
+    )
+    dse_sub = dse.add_subparsers(dest="dse_command", required=True)
+
+    def _dse_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dir", default="dse", metavar="DIR",
+                         help="sweep directory (spec + queue + cache + work)")
+        sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="content-addressed result cache "
+                              "(default: DIR/cache; share it across sweep "
+                              "directories to reuse results)")
+
+    dse_submit = dse_sub.add_parser(
+        "submit", help="expand a sweep spec and enqueue its design points"
+    )
+    _dse_common(dse_submit)
+    dse_submit.add_argument("--sweep", required=True, metavar="FILE",
+                            help="sweep spec JSON (workload + base + axes "
+                                 "+ objectives)")
+    dse_run = dse_sub.add_parser(
+        "run",
+        help="drive the sweep to completion and fold the dse report "
+             f"(exit {EXIT_KILLED} if interrupted; re-run to resume)",
+    )
+    _dse_common(dse_run)
+    dse_run.add_argument("--sweep", default=None, metavar="FILE",
+                         help="submit this sweep spec before running "
+                              "(default: the directory's saved spec)")
+    dse_run.add_argument("--workers", type=_positive_int, default=2,
+                         help="worker processes (default 2)")
+    dse_run.add_argument("--checkpoint-every", type=_positive_int,
+                         default=None, metavar="N",
+                         help="per-point checkpoint cadence (kernel events)")
+    dse_run.add_argument("--preempt", action="append", default=None,
+                         metavar="JOB_ID@EVENTS",
+                         help="kill that point's next attempt after N fresh "
+                              "events (exit 75); it resumes on another "
+                              "worker — repeatable")
+    dse_run.add_argument("--report-out", default=None, metavar="PATH",
+                         help="write the dse-report/1 as canonical JSON")
+    dse_run.add_argument("--json", action="store_true",
+                         help="emit the dse report as JSON on stdout")
+    dse_report = dse_sub.add_parser(
+        "report", help="fold the sweep's cached results into dse-report/1"
+    )
+    _dse_common(dse_report)
+    dse_report.add_argument("--out", default=None, metavar="PATH",
+                            help="write the report as canonical JSON")
+    dse_report.add_argument("--timeline-out", default=None, metavar="PATH",
+                            help="write a Chrome-trace sweep timeline "
+                                 "(front/knee annotated)")
+    dse_report.add_argument("--heatmap-out", default=None, metavar="PATH",
+                            help="write the fleet heat-map overlay "
+                                 "(netscope jobs only)")
+    dse_report.add_argument("--json", action="store_true",
+                            help="emit the report as JSON on stdout")
+    dse_pareto = dse_sub.add_parser(
+        "pareto", help="extract the non-dominated front from the sweep"
+    )
+    _dse_common(dse_pareto)
+    dse_pareto.add_argument("--objective", action="append", default=None,
+                            metavar="KEY[:min|max]",
+                            help="objective axis (repeatable; default: the "
+                                 "sweep spec's objectives)")
+    dse_pareto.add_argument("--out", default=None, metavar="PATH",
+                            help="write the pareto-front/1 as canonical JSON")
+    dse_pareto.add_argument("--csv-out", default=None, metavar="PATH",
+                            help="write the front as CSV")
+    dse_pareto.add_argument("--scatter", action="store_true",
+                            help="print the ASCII Pareto scatter")
+    dse_pareto.add_argument("--json", action="store_true",
+                            help="emit the front as JSON on stdout")
+    dse.set_defaults(func=cmd_dse)
     policies = subparsers.add_parser(
         "policies",
         help="run the scheduler/DVFS policy-zoo ablation "

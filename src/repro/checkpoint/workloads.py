@@ -119,9 +119,13 @@ def build_workload(name: str, params: dict | None = None) -> RunContext:
 def _system_kwargs(params: dict) -> dict:
     """`SwallowSystem` construction kwargs shared by every builder.
 
-    ``freq_mhz`` makes core frequency a first-class sweepable parameter
-    (the farm's DSE matrices sweep topology x frequency x seeds); it is
-    part of the params dict, hence of the job's content digest.
+    ``freq_mhz``, ``topology`` and ``link_aggregation`` make the DSE
+    axes first-class sweepable parameters (the farm's matrices sweep
+    topology x frequency x seeds); all are part of the params dict,
+    hence of the job's content digest.  ``topology`` names a variant
+    from :data:`repro.network.topology.TOPOLOGIES` and
+    ``link_aggregation`` widens every inter-package connection to that
+    many parallel links.
     """
     kwargs = {
         "slices_x": int(params.get("slices_x", 1)),
@@ -131,6 +135,10 @@ def _system_kwargs(params: dict) -> dict:
         from repro.sim import Frequency
 
         kwargs["frequency"] = Frequency.mhz(float(params["freq_mhz"]))
+    if params.get("topology") is not None:
+        kwargs["topology"] = str(params["topology"])
+    if params.get("link_aggregation") is not None:
+        kwargs["link_aggregation"] = int(params["link_aggregation"])
     return kwargs
 
 

@@ -295,8 +295,17 @@ def _job_summary(record: JobRecord, cache: ResultCache) -> dict:
             energy = report.get("energy", {})
             row["total_energy_j"] = energy.get("total_energy_j")
             row["elapsed_s"] = energy.get("elapsed_s")
+            row["total_instructions"] = energy.get("total_instructions")
+            row["mean_power_w"] = energy.get("mean_power_w")
             row["delivered_ok"] = report.get("delivered_ok")
             row["state_digest"] = report.get("state_digest")
+            # Deadline series only (what post-hoc Pareto analysis of a
+            # campaign needs); the full snapshot stays in the cache.
+            row["deadline_metrics"] = {
+                key: value
+                for key, value in report.get("metrics", {}).items()
+                if key.startswith("nos.deadline_")
+            }
     return row
 
 

@@ -71,6 +71,11 @@ class SwallowFabric:
         self._leaves: dict[int, tuple[int, Direction, Direction]] = {}
         #: One record per full-duplex link pair (failure management).
         self.link_records: list[LinkRecord] = []
+        #: Links already wired per ordered node pair — keeps link names
+        #: unique when the same pair is connected by several
+        #: :meth:`connect` calls (e.g. a torus wrap joining nodes that
+        #: are already grid neighbours).
+        self._pair_counts: dict[tuple[int, int], int] = {}
         #: Software routing tables (node -> dest -> direction); when set
         #: they take precedence over the coordinate policy.
         self.routing_tables: dict[int, dict[int, Direction]] | None = None
@@ -115,7 +120,10 @@ class SwallowFabric:
         """
         switch_a = self.switches[node_a]
         switch_b = self.switches[node_b]
-        for i in range(count):
+        base = self._pair_counts.get((node_a, node_b), 0)
+        self._pair_counts[(node_a, node_b)] = base + count
+        self._pair_counts[(node_b, node_a)] = base + count
+        for i in range(base, base + count):
             forward = HalfLink(
                 self.sim, spec,
                 f"{switch_a.name}->{switch_b.name}#{i}",
@@ -138,6 +146,10 @@ class SwallowFabric:
             self.link_records.append(record)
             if self.netscope is not None:
                 self.netscope.attach_record(record)
+        if self.routing_tables is not None:
+            # Late wiring under software routing (e.g. an Ethernet
+            # bridge attached to a mesh/torus): fold the new links in.
+            self.use_table_routing()
 
     # ------------------------------------------------------------------
     # Routing

@@ -14,6 +14,26 @@ Physical structure (paper §IV-B, §V-A, Figs. 5–7):
   reserved for Ethernet bridges — we reproduce that accounting;
 * a **grid** of slices connects neighbouring boards with 30 cm FFC
   ribbon cables (the expensive 10 880 pJ/bit class of Table I).
+
+Beyond the paper's as-built machine, the builder constructs the
+*hypothetical* variants the DSE engine sweeps (:mod:`repro.dse`):
+
+* ``topology="lattice"`` (default) — the paper's unwoven lattice;
+* ``topology="mesh"`` — both layers get both dimensions (each package's
+  two nodes sit on a full 2-D mesh, still joined by the four on-chip
+  links), the wiring Swallow's pin-out forbids but a re-spun package
+  could offer;
+* ``topology="torus"`` — the mesh plus wrap-around links joining each
+  row's and column's ends, costed as the off-board FFC class (a wrap is
+  a long ribbon cable);
+* ``link_aggregation=N`` — every inter-package connection is ``N``
+  parallel links (the paper's "multiple links can be assigned" knob).
+
+The lattice routes with the paper's coordinate policy; mesh and torus
+switch the fabric to software routing tables (shortest path over the
+actual wiring — the paper's "new routing algorithms can simply be
+programmed in software"), recomputed deterministically, so every
+variant stays byte-identical across runs.
 """
 
 from __future__ import annotations
@@ -45,6 +65,8 @@ SLICE_EDGE_PORTS = 2 * SLICE_PACKAGES_X + 2 * SLICE_PACKAGES_Y
 SLICE_ETHERNET_PORTS = 2
 #: Off-board network links per slice as counted by the paper.
 SLICE_OFFBOARD_LINKS = SLICE_EDGE_PORTS - SLICE_ETHERNET_PORTS
+#: Topology variants the builder can wire (the DSE topology axis).
+TOPOLOGIES = ("lattice", "mesh", "torus")
 
 
 @dataclass(frozen=True)
@@ -58,7 +80,7 @@ class PackageRef:
 
 
 class SwallowTopology:
-    """A grid of Swallow slices wired as an unwoven lattice."""
+    """A grid of Swallow slices wired as an unwoven lattice (or variant)."""
 
     def __init__(
         self,
@@ -68,12 +90,22 @@ class SwallowTopology:
         policy: RoutePolicy = next_direction,
         frequency: Frequency | None = None,
         use_operating_rate: bool = False,
+        topology: str = "lattice",
+        link_aggregation: int = 1,
     ):
         if slices_x < 1 or slices_y < 1:
             raise ValueError("need at least one slice in each dimension")
+        if topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {topology!r}; known: {', '.join(TOPOLOGIES)}"
+            )
+        if link_aggregation < 1:
+            raise ValueError("link_aggregation must be >= 1")
         self.sim = sim
         self.slices_x = slices_x
         self.slices_y = slices_y
+        self.topology_name = topology
+        self.link_aggregation = link_aggregation
         self.packages_x = SLICE_PACKAGES_X * slices_x
         self.packages_y = SLICE_PACKAGES_Y * slices_y
         self.fabric = SwallowFabric(
@@ -83,7 +115,16 @@ class SwallowTopology:
         self.packages: dict[tuple[int, int], PackageRef] = {}
         self._node_by_coord: dict[NodeCoord, int] = {}
         self._build_nodes()
+        #: The wiring plan: (node_a, dir_ab, node_b, dir_ba, spec, count)
+        #: tuples in deterministic construction order — the single source
+        #: both the live fabric and :meth:`graph` are built from.
+        self._edges = self._plan_links()
         self._build_links()
+        if topology != "lattice":
+            # The coordinate policy encodes the lattice's layer split;
+            # mesh/torus routes exploit their extra links via software
+            # routing tables instead (recomputed on link failures).
+            self.fabric.use_table_routing()
 
     # -- construction ---------------------------------------------------------
 
@@ -101,14 +142,24 @@ class SwallowTopology:
                 self._node_by_coord[h_coord] = h_node
                 self.packages[(x, y)] = PackageRef(x, y, v_node, h_node)
 
-    def _build_links(self) -> None:
+    def _plan_links(self) -> list[tuple]:
+        """The wiring plan for the configured topology variant.
+
+        The lattice plan preserves the historical construction order
+        exactly (link order is part of snapshot byte-identity); mesh
+        adds the cross-layer dimension per neighbour pair, torus appends
+        its wrap links after the grid links.
+        """
+        edges: list[tuple] = []
+        meshed = self.topology_name in ("mesh", "torus")
+        agg = self.link_aggregation
         for (x, y), package in self.packages.items():
             # Four on-chip links joining the two layers of the package.
-            self.fabric.connect(
+            edges.append((
                 package.vertical_node, Direction.INTERNAL,
                 package.horizontal_node, Direction.INTERNAL,
-                LINK_ON_CHIP, count=INTERNAL_LINKS_PER_PACKAGE,
-            )
+                LINK_ON_CHIP, INTERNAL_LINKS_PER_PACKAGE,
+            ))
             # Southward neighbour: vertical-layer chain.
             south = self.packages.get((x, y + 1))
             if south is not None:
@@ -117,11 +168,15 @@ class SwallowTopology:
                     if (y + 1) % SLICE_PACKAGES_Y != 0
                     else LINK_OFFBOARD_FFC
                 )
-                self.fabric.connect(
+                edges.append((
                     package.vertical_node, Direction.SOUTH,
-                    south.vertical_node, Direction.NORTH,
-                    spec,
-                )
+                    south.vertical_node, Direction.NORTH, spec, agg,
+                ))
+                if meshed:
+                    edges.append((
+                        package.horizontal_node, Direction.SOUTH,
+                        south.horizontal_node, Direction.NORTH, spec, agg,
+                    ))
             # Eastward neighbour: horizontal-layer chain.
             east = self.packages.get((x + 1, y))
             if east is not None:
@@ -130,11 +185,53 @@ class SwallowTopology:
                     if (x + 1) % SLICE_PACKAGES_X != 0
                     else LINK_OFFBOARD_FFC
                 )
-                self.fabric.connect(
+                edges.append((
                     package.horizontal_node, Direction.EAST,
-                    east.horizontal_node, Direction.WEST,
-                    spec,
-                )
+                    east.horizontal_node, Direction.WEST, spec, agg,
+                ))
+                if meshed:
+                    edges.append((
+                        package.vertical_node, Direction.EAST,
+                        east.vertical_node, Direction.WEST, spec, agg,
+                    ))
+        if self.topology_name == "torus":
+            # Wrap each column (both layers), then each row — a wrap is
+            # a long ribbon cable, so it costs the off-board FFC class.
+            if self.packages_y > 1:
+                for x in range(self.packages_x):
+                    top = self.packages[(x, 0)]
+                    bottom = self.packages[(x, self.packages_y - 1)]
+                    edges.append((
+                        bottom.vertical_node, Direction.SOUTH,
+                        top.vertical_node, Direction.NORTH,
+                        LINK_OFFBOARD_FFC, agg,
+                    ))
+                    edges.append((
+                        bottom.horizontal_node, Direction.SOUTH,
+                        top.horizontal_node, Direction.NORTH,
+                        LINK_OFFBOARD_FFC, agg,
+                    ))
+            if self.packages_x > 1:
+                for y in range(self.packages_y):
+                    west = self.packages[(0, y)]
+                    east = self.packages[(self.packages_x - 1, y)]
+                    edges.append((
+                        east.horizontal_node, Direction.EAST,
+                        west.horizontal_node, Direction.WEST,
+                        LINK_OFFBOARD_FFC, agg,
+                    ))
+                    edges.append((
+                        east.vertical_node, Direction.EAST,
+                        west.vertical_node, Direction.WEST,
+                        LINK_OFFBOARD_FFC, agg,
+                    ))
+        return edges
+
+    def _build_links(self) -> None:
+        for node_a, dir_ab, node_b, dir_ba, spec, count in self._edges:
+            self.fabric.connect(
+                node_a, dir_ab, node_b, dir_ba, spec, count=count,
+            )
 
     # -- lookup -----------------------------------------------------------------
 
@@ -173,43 +270,25 @@ class SwallowTopology:
 
     def graph(self) -> nx.MultiGraph:
         """The link graph (nodes = cores, parallel edges kept) with
-        per-edge ``spec`` (link class) and ``bitrate`` attributes."""
+        per-edge ``spec`` (link class) and ``bitrate`` attributes.
+
+        Derived from the same wiring plan the live fabric was built
+        from, so analysis (bisection, structure summaries) and the
+        simulated network can never disagree about what is wired.
+        """
         graph = nx.MultiGraph()
         for node_id, coord in self.fabric.coords.items():
             graph.add_node(node_id, coord=coord)
-        for (x, y), package in self.packages.items():
+        for node_a, _, node_b, _, spec, count in self._edges:
             graph.add_edges_from(
-                [(package.vertical_node, package.horizontal_node)]
-                * INTERNAL_LINKS_PER_PACKAGE,
-                spec=LINK_ON_CHIP,
-                bitrate=LINK_ON_CHIP.max_bitrate,
+                [(node_a, node_b)] * count,
+                spec=spec, bitrate=spec.max_bitrate,
             )
-            south = self.packages.get((x, y + 1))
-            if south is not None:
-                spec = (
-                    LINK_BOARD_VERTICAL
-                    if (y + 1) % SLICE_PACKAGES_Y != 0
-                    else LINK_OFFBOARD_FFC
-                )
-                graph.add_edge(
-                    package.vertical_node, south.vertical_node,
-                    spec=spec, bitrate=spec.max_bitrate,
-                )
-            east = self.packages.get((x + 1, y))
-            if east is not None:
-                spec = (
-                    LINK_BOARD_HORIZONTAL
-                    if (x + 1) % SLICE_PACKAGES_X != 0
-                    else LINK_OFFBOARD_FFC
-                )
-                graph.add_edge(
-                    package.horizontal_node, east.horizontal_node,
-                    spec=spec, bitrate=spec.max_bitrate,
-                )
         return graph
 
     def __repr__(self) -> str:
         return (
-            f"<SwallowTopology {self.slices_x}x{self.slices_y} slices, "
+            f"<SwallowTopology {self.topology_name} "
+            f"{self.slices_x}x{self.slices_y} slices, "
             f"{self.num_nodes} cores>"
         )

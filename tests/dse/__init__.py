@@ -1,0 +1,1 @@
+"""DSE engine tests."""

@@ -122,3 +122,74 @@ class TestBundledAxes:
             },
         ).jobs()
         assert [s.digest for s in build()] == [s.digest for s in build()]
+
+
+class TestMatrixEdgeCases:
+    """The expansion corners the DSE engine leans on."""
+
+    def test_empty_sweep_yields_the_single_base_job(self):
+        matrix = MatrixSpec(workload="demo", base={"seed": 3}, sweep={})
+        jobs = matrix.jobs()
+        assert matrix.num_jobs == 1
+        assert len(jobs) == 1
+        assert jobs[0].params == {"seed": 3}
+        assert jobs[0].digest == JobSpec("demo", {"seed": 3}).digest
+
+    def test_bundles_mixed_with_scalar_axes(self):
+        matrix = MatrixSpec(
+            workload="w",
+            base={"words": 4, "drop_rate": 0.5},
+            sweep={
+                "campaign": [
+                    {"seed": 1, "drop_rate": 0.0},
+                    {"seed": 2, "drop_rate": 0.1},
+                ],
+                "slices_x": [1, 2],
+            },
+        )
+        jobs = matrix.jobs()
+        assert len(jobs) == 4
+        for spec in jobs:
+            # The bundle overrides base keys; the scalar axis binds its
+            # own name; the axis name of the bundle never leaks.
+            assert "campaign" not in spec.params
+            assert spec.params["words"] == 4
+            assert spec.params["drop_rate"] in (0.0, 0.1)
+        # Sorted axis order: campaign before slices_x, slices_x fastest.
+        assert [(s.params["seed"], s.params["slices_x"]) for s in jobs] == [
+            (1, 1), (1, 2), (2, 1), (2, 2),
+        ]
+
+    def test_dedupe_keeps_first_occurrence_order(self):
+        matrix = MatrixSpec(
+            workload="w",
+            sweep={
+                # Bundles collide with the scalar axis's combinations:
+                # {"seed": 1} from the bundle equals seed=1 from the
+                # scalar axis once merged.
+                "campaign": [{"seed": 1}, {"seed": 2}, {"seed": 1}],
+                "zz_extra": [0],
+            },
+        )
+        seeds = [s.params["seed"] for s in matrix.jobs()]
+        assert seeds == [1, 2]
+        assert matrix.num_jobs == 3  # pre-dedupe product
+
+    def test_dedupe_ordering_is_stable_across_runs(self):
+        def build():
+            return MatrixSpec(
+                workload="w",
+                base={"fixed": True},
+                sweep={
+                    "a": [2, 1, 2],
+                    "b": [{"x": 1}, {"x": 1}, {"x": 2}],
+                },
+            ).jobs()
+
+        first = build()
+        for _ in range(3):
+            again = build()
+            assert [s.digest for s in again] == [s.digest for s in first]
+            assert [s.params for s in again] == [s.params for s in first]
+        # 3x3 product with duplicate values collapses to 2x2 configs.
+        assert len(first) == 4

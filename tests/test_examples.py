@@ -67,8 +67,20 @@ class TestExamples:
         out = run_example("farm_dse_sweep", capsys)
         assert "simulated 8 jobs, 0 cache hits" in out
         assert "pareto" in out
+        assert "K" in out  # knee of the energy-vs-time front
         assert "8 cache hits (100% hit rate)" in out
         assert "cached results identical to simulated ones: True" in out
+
+    def test_dse_pareto(self, capsys):
+        out = run_example("dse_pareto", capsys)
+        assert "6 design points" in out
+        assert "pareto front: 6/6 points non-dominated" in out
+        assert "* front   K knee   . dominated" in out
+        assert "pareto front: 3/6 points non-dominated" in out
+        assert "dominated by" in out
+        assert "(100% hit rate)" in out
+        assert "report byte-identical: True" in out
+        assert "front byte-identical: True" in out
 
     def test_fault_tolerant_pipeline(self, capsys):
         out = run_example("fault_tolerant_pipeline", capsys)
